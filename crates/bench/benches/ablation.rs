@@ -1,0 +1,109 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * DSW selection rule — MaxCardinality (DSW, default) vs LabelOrder
+//!   (pure traversal): cost and retained-edge quality.
+//! * Partition strategy — Block vs RoundRobin vs BfsBlock at high rank
+//!   counts: border-edge pressure on the no-comm triangle rule.
+//! * Random-walk mode — VertexSweep (default) vs Traversal: the two
+//!   readings of the paper's control filter.
+
+use casbn_chordal::{maximal_chordal_subgraph, ChordalConfig, SelectionRule};
+use casbn_core::{Filter, ParallelChordalNoCommFilter, ParallelRandomWalkFilter};
+use casbn_graph::generators::planted_partition;
+use casbn_graph::PartitionKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection_rule(c: &mut Criterion) {
+    let (g, _) = planted_partition(8_000, 160, 10, 0.55, 3_000, 13);
+    let mut group = c.benchmark_group("ablation_selection_rule");
+    group.sample_size(10);
+    for (label, rule) in [
+        ("max_cardinality", SelectionRule::MaxCardinality),
+        ("label_order", SelectionRule::LabelOrder),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| maximal_chordal_subgraph(&g, ChordalConfig { selection: rule }))
+        });
+    }
+    group.finish();
+
+    // quality report (printed once; criterion output carries the cost)
+    let mc = maximal_chordal_subgraph(&g, ChordalConfig::default());
+    let lo = maximal_chordal_subgraph(
+        &g,
+        ChordalConfig {
+            selection: SelectionRule::LabelOrder,
+        },
+    );
+    eprintln!(
+        "[ablation] retained edges: max-cardinality={} label-order={} (of {})",
+        mc.graph.m(),
+        lo.graph.m(),
+        g.m()
+    );
+}
+
+fn bench_partition_strategy(c: &mut Criterion) {
+    let (g, _) = planted_partition(12_000, 240, 10, 0.55, 5_000, 17);
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("block", PartitionKind::Block),
+        ("round_robin", PartitionKind::RoundRobin),
+        ("bfs_block", PartitionKind::BfsBlock),
+    ] {
+        group.bench_with_input(BenchmarkId::new("nocomm_p16", label), &kind, |b, &kind| {
+            let f = ParallelChordalNoCommFilter::new(16, kind);
+            b.iter(|| f.filter(&g, 0))
+        });
+    }
+    group.finish();
+
+    for (label, kind) in [
+        ("block", PartitionKind::Block),
+        ("round_robin", PartitionKind::RoundRobin),
+        ("bfs_block", PartitionKind::BfsBlock),
+    ] {
+        let out = ParallelChordalNoCommFilter::new(16, kind).filter(&g, 0);
+        eprintln!(
+            "[ablation] partition={label}: retained={} borders={} dups={}",
+            out.graph.m(),
+            out.stats.border_edges,
+            out.stats.duplicate_border_edges
+        );
+    }
+}
+
+fn bench_walk_mode(c: &mut Criterion) {
+    let (g, _) = planted_partition(8_000, 160, 10, 0.55, 3_000, 19);
+    let mut group = c.benchmark_group("ablation_walk_mode");
+    group.sample_size(10);
+    group.bench_function("vertex_sweep", |b| {
+        let f = ParallelRandomWalkFilter::new(1, PartitionKind::Block);
+        b.iter(|| f.filter(&g, 0))
+    });
+    group.bench_function("traversal", |b| {
+        let f = ParallelRandomWalkFilter::new(1, PartitionKind::Block).traversal();
+        b.iter(|| f.filter(&g, 0))
+    });
+    group.finish();
+
+    let sweep = ParallelRandomWalkFilter::new(1, PartitionKind::Block).filter(&g, 0);
+    let walk = ParallelRandomWalkFilter::new(1, PartitionKind::Block)
+        .traversal()
+        .filter(&g, 0);
+    eprintln!(
+        "[ablation] rw retained: sweep={} traversal={} (of {})",
+        sweep.graph.m(),
+        walk.graph.m(),
+        g.m()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_selection_rule,
+    bench_partition_strategy,
+    bench_walk_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Sequential maximal-chordal extraction: the `O(E·d)` claim of Dearing,
+//! Shier & Warner. Time should grow near-linearly in E for fixed average
+//! degree and the work counter should track it.
+
+use casbn_chordal::{maximal_chordal_subgraph, mcs_order, ChordalConfig};
+use casbn_graph::generators::{barabasi_albert, gnm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_dsw_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsw_scaling");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let m = 3 * n; // fixed average degree 6
+        let g = gnm(n, m, 11);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("gnm_avgdeg6", n), &g, |b, g| {
+            b.iter(|| maximal_chordal_subgraph(g, ChordalConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsw_degree_sensitivity(c: &mut Criterion) {
+    // O(E·d): scale-free hubs (high d) cost more per edge than uniform
+    let mut group = c.benchmark_group("dsw_degree");
+    group.sample_size(10);
+    let uniform = gnm(10_000, 30_000, 3);
+    let scale_free = barabasi_albert(10_000, 3, 3);
+    group.bench_function("uniform_30k_edges", |b| {
+        b.iter(|| maximal_chordal_subgraph(&uniform, ChordalConfig::default()))
+    });
+    group.bench_function("scalefree_30k_edges", |b| {
+        b.iter(|| maximal_chordal_subgraph(&scale_free, ChordalConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_chordality_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcs_order");
+    group.sample_size(20);
+    let g = gnm(20_000, 60_000, 5);
+    group.bench_function("gnm_20k_60k", |b| b.iter(|| mcs_order(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsw_scaling,
+    bench_dsw_degree_sensitivity,
+    bench_chordality_test
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! GO edge-enrichment scoring cost (the annotation stage of §IV-A):
+//! DCP queries and whole-cluster AEES computation.
+
+use casbn_graph::VertexId;
+use casbn_ontology::{AnnotatedOntology, EnrichmentScorer, GoDag};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (AnnotatedOntology, Vec<(VertexId, VertexId)>) {
+    let dag = GoDag::generate(8, 4, 0.25, 5);
+    let modules: Vec<Vec<VertexId>> = (0..40)
+        .map(|m| ((m * 10) as VertexId..(m * 10 + 10) as VertexId).collect())
+        .collect();
+    let onto = AnnotatedOntology::synthetic(1_000, &modules, dag, 6, 2, 7);
+    // a 50-edge cluster mixing module and background genes
+    let mut edges = Vec::new();
+    for i in 0..10u32 {
+        for j in (i + 1)..10u32 {
+            edges.push((i, j));
+        }
+    }
+    for k in 0..5u32 {
+        edges.push((k, 500 + k));
+    }
+    (onto, edges)
+}
+
+fn bench_enrichment(c: &mut Criterion) {
+    let (onto, edges) = setup();
+    let scorer = EnrichmentScorer::new(&onto);
+    let mut group = c.benchmark_group("enrichment");
+    group.bench_function("dcp_single_pair", |b| {
+        b.iter(|| onto.dag.deepest_common_parent(100, 200))
+    });
+    group.bench_function("edge_score", |b| b.iter(|| scorer.edge_score(0, 1)));
+    group.bench_function("annotate_50edge_cluster", |b| {
+        b.iter(|| scorer.annotate_cluster(&edges))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enrichment);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! MCODE clustering cost on correlation-network-shaped graphs (the
+//! clustering stage behind Figs. 4–9 and 11).
+
+use casbn_graph::generators::planted_partition;
+use casbn_mcode::{mcode_cluster, vertex_weights, McodeParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mcode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcode");
+    group.sample_size(10);
+    for &(n, modules, noise) in &[(2_000usize, 40usize, 800usize), (10_000, 200, 4_000)] {
+        let (g, _) = planted_partition(n, modules, 10, 0.55, noise, 9);
+        group.bench_with_input(BenchmarkId::new("cluster", n), &g, |b, g| {
+            b.iter(|| mcode_cluster(g, &McodeParams::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("vertex_weights", n), &g, |b, g| {
+            b.iter(|| vertex_weights(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcode);
+criterion_main!(benches);

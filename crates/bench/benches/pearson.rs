@@ -1,0 +1,32 @@
+//! Correlation-network construction (§IV-A): all-pairs Pearson with
+//! thresholding, the pipeline's data-ingest stage. Quadratic in genes —
+//! the reason the paper needs filtering and HPC at 27,896 genes.
+
+use casbn_expr::{CorrelationNetwork, NetworkParams, SyntheticMicroarray, SyntheticParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearson_allpairs");
+    group.sample_size(10);
+    for &genes in &[1_000usize, 2_000, 4_000] {
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes,
+                samples: 8,
+                modules: genes / 30,
+                module_size: 10,
+                loading_sq: 0.95,
+            },
+            3,
+        );
+        let pairs = (genes * (genes - 1) / 2) as u64;
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(BenchmarkId::from_parameter(genes), &arr, |b, arr| {
+            b.iter(|| CorrelationNetwork::from_expression(&arr.matrix, NetworkParams::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pearson);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 10 (wall-clock counterpart): real threaded execution time of the
+//! three parallel samplers across processor counts, on a small
+//! (YNG-sized) and a large (CRE-sized) synthetic correlation network.
+//! The simulated-time series the paper plots is produced by
+//! `figures --fig 10`; this bench tracks the real implementation cost.
+
+use casbn_core::{
+    Filter, ParallelChordalCommFilter, ParallelChordalNoCommFilter, ParallelRandomWalkFilter,
+};
+use casbn_graph::generators::planted_partition;
+use casbn_graph::{Graph, PartitionKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn networks() -> Vec<(&'static str, Graph)> {
+    // structural stand-ins for the two evaluation networks (exact synth
+    // presets are exercised by the figures binary; benches avoid the
+    // all-pairs Pearson cost)
+    let (small, _) = planted_partition(5_348, 197, 10, 0.55, 2_100, 7);
+    let (large, _) = planted_partition(27_896, 510, 10, 0.55, 17_000, 7);
+    vec![("yng", small), ("cre", large)]
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let nets = networks();
+    let mut group = c.benchmark_group("fig10_scalability");
+    group.sample_size(10);
+    for (name, g) in &nets {
+        for p in [1usize, 2, 4, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/chordal-comm"), p),
+                &p,
+                |b, &p| {
+                    let f = ParallelChordalCommFilter::new(p, PartitionKind::Block);
+                    b.iter(|| f.filter(g, 0))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/chordal-nocomm"), p),
+                &p,
+                |b, &p| {
+                    let f = ParallelChordalNoCommFilter::new(p, PartitionKind::Block);
+                    b.iter(|| f.filter(g, 0))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/randomwalk"), p),
+                &p,
+                |b, &p| {
+                    let f = ParallelRandomWalkFilter::new(p, PartitionKind::Block);
+                    b.iter(|| f.filter(g, 0))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Experiment pipeline and the per-figure reproduction harness.
+//!
+//! Everything the paper's evaluation section reports is regenerated from
+//! here: [`pipeline`] wires dataset → ordering → filter → MCODE → GO
+//! enrichment → overlap analysis, and [`figures`] produces the data series
+//! behind every figure (Figs. 3–11) plus the in-text results. The
+//! `figures` binary renders them as text tables / JSON.
+
+pub mod figures;
+pub mod pipeline;
+pub mod render;
+
+pub use pipeline::{AnnotatedCluster, Experiment, ExperimentScale};

@@ -1,0 +1,169 @@
+//! Maximal cliques of a chordal graph, extracted from a perfect
+//! elimination ordering.
+//!
+//! In a chordal graph the maximal cliques are exactly the sets
+//! `{v} ∪ later-neighbours(v)` that are not contained in another such set
+//! — at most `n` of them, found in linear time from a PEO. Cliques are
+//! the "dense subgraphs" the paper's hypothesis H0 says the filter must
+//! preserve, so this module gives the test-suite a direct way to compare
+//! the clique structure of a network before and after filtering.
+
+use crate::test_chordal::mcs_order;
+use casbn_graph::{Graph, VertexId};
+
+/// Maximal cliques of a **chordal** graph (behaviour on non-chordal input
+/// is unspecified but safe: it returns the candidate sets that survive
+/// the containment filter). Cliques are returned with sorted membership,
+/// largest first.
+pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order = mcs_order(g);
+    order.reverse(); // PEO if chordal
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    // candidate clique per vertex: v + its later-ordered neighbours
+    let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    for (i, &v) in order.iter().enumerate() {
+        let mut c: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| pos[w as usize] > i)
+            .collect();
+        c.push(v);
+        c.sort_unstable();
+        cands.push(c);
+    }
+    // containment filter: a candidate is maximal iff no *other* candidate
+    // strictly contains it. For chordal graphs it suffices to check the
+    // candidate of each member with a later candidate-start, but the
+    // straightforward O(Σ|C|²) pass is plenty for our sizes.
+    cands.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut keep: Vec<Vec<VertexId>> = Vec::new();
+    for c in cands {
+        if !keep.iter().any(|k| is_subset(&c, k)) {
+            keep.push(c);
+        }
+    }
+    keep
+}
+
+/// The clique number ω(g) of a chordal graph.
+pub fn clique_number(g: &Graph) -> usize {
+    maximal_cliques(g).first().map(Vec::len).unwrap_or(0)
+}
+
+/// Fraction of `a`'s maximal-clique *edges* that survive in graph `h` —
+/// the clique-preservation measure behind hypothesis H0.
+pub fn clique_edge_retention(cliques: &[Vec<VertexId>], h: &Graph) -> f64 {
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    for c in cliques {
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                total += 1;
+                if h.has_edge(c[i], c[j]) {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        kept as f64 / total as f64
+    }
+}
+
+fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j == b.len() || b[j] != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsw::{maximal_chordal_subgraph, ChordalConfig};
+    use casbn_graph::generators::planted_partition;
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn single_clique() {
+        let g = clique(5);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(clique_number(&g), 5);
+    }
+
+    #[test]
+    fn tree_cliques_are_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 4, "each edge of a tree is a maximal clique");
+        assert!(cs.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // the "bowtie on an edge": 0-1-2 and 1-2-3
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(&vec![0, 1, 2]));
+        assert!(cs.contains(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn isolated_vertices_are_trivial_cliques() {
+        let g = Graph::new(3);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn chordal_filter_preserves_clique_edges() {
+        // H0's clique-preservation measure on a planted network
+        let (g, _) = planted_partition(300, 6, 10, 0.6, 250, 5);
+        let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        // cliques of the *filtered* (chordal) graph all survive in g
+        let cliques = maximal_cliques(&r.graph);
+        assert_eq!(clique_edge_retention(&cliques, &g), 1.0);
+        // and the filter's own cliques cover a large share of g's triangles
+        assert!(clique_number(&r.graph) >= 4);
+    }
+
+    #[test]
+    fn clique_count_bounded_by_n() {
+        let (g, _) = planted_partition(200, 4, 10, 0.7, 120, 9);
+        let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        let cs = maximal_cliques(&r.graph);
+        assert!(cs.len() <= r.graph.n(), "chordal graphs have ≤ n maximal cliques");
+    }
+}

@@ -1,0 +1,138 @@
+//! Lexicographic breadth-first search — the second classical linear-time
+//! chordality machine (Rose–Tarjan–Lueker 1976), provided alongside MCS
+//! so the two recognisers can cross-validate each other in the test suite
+//! and property tests.
+//!
+//! Lex-BFS visits vertices by lexicographically largest *label*, where a
+//! vertex's label is the (descending) sequence of visit times of its
+//! already-visited neighbours. Like MCS, the reverse of a Lex-BFS visit
+//! order is a perfect elimination ordering iff the graph is chordal.
+
+use casbn_graph::{Graph, VertexId};
+
+/// Lex-BFS visit order via partition refinement (O(n + m)).
+///
+/// Ties are broken by smallest vertex id; each new component starts at
+/// its smallest unvisited id, so the result is deterministic.
+pub fn lexbfs_order(g: &Graph) -> Vec<VertexId> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Partition refinement over a doubly linked list of cells, each cell a
+    // set of vertices with identical labels, ordered by label rank.
+    // Simple Vec-of-Vec implementation: cells[i] = sorted vertex list.
+    let mut cells: Vec<Vec<VertexId>> = vec![(0..n as VertexId).collect()];
+    let mut cell_of: Vec<usize> = vec![0; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+
+    while order.len() < n {
+        // first nonempty cell; its first (smallest-id) vertex is next
+        let ci = cells
+            .iter()
+            .position(|c| !c.is_empty())
+            .expect("vertices remain");
+        let v = cells[ci][0];
+        cells[ci].remove(0);
+        visited[v as usize] = true;
+        order.push(v);
+
+        // split every cell containing an unvisited neighbour of v into
+        // (neighbours, non-neighbours), neighbours first
+        let mut split: Vec<(usize, Vec<VertexId>)> = Vec::new();
+        for &w in g.neighbors(v) {
+            if !visited[w as usize] {
+                let c = cell_of[w as usize];
+                match split.iter_mut().find(|(ci2, _)| *ci2 == c) {
+                    Some((_, list)) => list.push(w),
+                    None => split.push((c, vec![w])),
+                }
+            }
+        }
+        // apply splits from the highest cell index down so insertions
+        // don't invalidate recorded indices
+        split.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+        for (c, mut movers) in split {
+            movers.sort_unstable();
+            cells[c].retain(|x| !movers.contains(x));
+            // insert the neighbour cell *before* cell c
+            cells.insert(c, movers);
+            // fix cell_of for everything at or after c
+            for (idx, cell) in cells.iter().enumerate().skip(c) {
+                for &x in cell {
+                    cell_of[x as usize] = idx;
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Whether `g` is chordal, by Lex-BFS (cross-check for
+/// [`crate::test_chordal::is_chordal`]).
+pub fn is_chordal_lexbfs(g: &Graph) -> bool {
+    let mut order = lexbfs_order(g);
+    order.reverse();
+    crate::test_chordal::check_peo(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_chordal::is_chordal;
+    use casbn_graph::generators::gnm;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let g = gnm(60, 150, 3);
+        let order = lexbfs_order(&g);
+        let mut seen = vec![false; 60];
+        for v in order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn agrees_with_mcs_on_chordality() {
+        for seed in 0..20 {
+            let g = gnm(24, 40 + (seed as usize % 30), seed);
+            assert_eq!(
+                is_chordal_lexbfs(&g),
+                is_chordal(&g),
+                "recognisers disagree on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn classifies_canonical_graphs() {
+        assert!(is_chordal_lexbfs(&cycle(3)));
+        assert!(!is_chordal_lexbfs(&cycle(4)));
+        assert!(!is_chordal_lexbfs(&cycle(7)));
+        let mut g = cycle(4);
+        g.add_edge(0, 2);
+        assert!(is_chordal_lexbfs(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(lexbfs_order(&Graph::new(0)).is_empty());
+        assert!(is_chordal_lexbfs(&Graph::new(3)));
+    }
+
+    #[test]
+    fn starts_at_smallest_id() {
+        let g = gnm(30, 60, 9);
+        assert_eq!(lexbfs_order(&g)[0], 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the chordal machinery.
+
+use casbn_chordal::{
+    check_peo, is_chordal, maximal_chordal_subgraph, repair_maximal, ChordalConfig,
+    SelectionRule,
+};
+use casbn_graph::{Graph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random graph with up to `nmax` vertices and arbitrary edges.
+fn arb_graph(nmax: usize) -> impl Strategy<Value = Graph> {
+    (2..nmax).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..=max_edges.min(80))
+            .prop_map(move |pairs| Graph::from_edges(n, &pairs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dsw_output_is_chordal_subgraph(g in arb_graph(24)) {
+        for sel in [SelectionRule::LabelOrder, SelectionRule::MaxCardinality] {
+            let r = maximal_chordal_subgraph(&g, ChordalConfig { selection: sel });
+            prop_assert!(is_chordal(&r.graph));
+            prop_assert_eq!(r.graph.n(), g.n());
+            for (u, v) in r.graph.edges() {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn dsw_order_reversed_is_peo(g in arb_graph(20)) {
+        let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        let mut peo = r.order.clone();
+        peo.reverse();
+        prop_assert!(check_peo(&r.graph, &peo));
+    }
+
+    #[test]
+    fn chordal_graphs_are_fixed_points_after_repair(g in arb_graph(16)) {
+        // repair_maximal on (g, dsw(g)) must be maximal: no absent edge can
+        // be added back
+        let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        let fixed = repair_maximal(&g, &r.graph);
+        prop_assert!(is_chordal(&fixed));
+        for (u, v) in g.edges() {
+            if !fixed.has_edge(u, v) {
+                let mut t = fixed.clone();
+                t.add_edge(u, v);
+                prop_assert!(!is_chordal(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn is_chordal_agrees_with_triangle_free_cycles(n in 4usize..20) {
+        // chordless cycles are the canonical non-chordal family
+        let edges: Vec<_> = (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        let g = Graph::from_edges(n, &edges);
+        prop_assert!(!is_chordal(&g));
+    }
+
+    #[test]
+    fn adding_edges_to_dsw_result_never_needed_for_chordality(g in arb_graph(14)) {
+        // i.e., result of DSW is chordal even before repair
+        let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        prop_assert!(is_chordal(&r.graph));
+    }
+}

@@ -1,0 +1,228 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use casbn_core::{
+    Filter, ForestFireFilter, ParallelChordalCommFilter, ParallelChordalNoCommFilter,
+    ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter, SequentialChordalFilter,
+};
+use casbn_expr::DatasetPreset;
+use casbn_graph::io::{read_edge_list, write_edge_list};
+use casbn_graph::{Graph, PartitionKind};
+use casbn_mcode::{mcode_cluster, McodeParams};
+use std::fs::File;
+
+/// Help text.
+pub const USAGE: &str = "\
+casbn — chordal adaptive sampling for biological networks
+
+USAGE:
+  casbn generate --preset yng|mid|unt|cre [--scale F] [--out FILE]
+  casbn filter   --in FILE --algo ALGO [--ranks N] [--partition block|rr|bfs]
+                 [--seed N] [--out FILE]
+  casbn cluster  --in FILE [--min-score F] [--min-size N] [--json]
+  casbn stats    --in FILE [--centrality]
+  casbn compare  --original FILE --filtered FILE
+
+ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
+      forestfire | randomnode | randomedge
+";
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let (g, _) = read_edge_list(f, 0).map_err(|e| e.to_string())?;
+    Ok(g)
+}
+
+fn save(g: &Graph, path: Option<&str>, header: &str) -> Result<(), String> {
+    match path {
+        Some(p) => {
+            let f = File::create(p).map_err(|e| format!("create {p}: {e}"))?;
+            write_edge_list(g, f, Some(header)).map_err(|e| e.to_string())
+        }
+        None => write_edge_list(g, std::io::stdout().lock(), Some(header))
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// `casbn generate` — build a preset correlation network.
+pub fn generate(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        let preset = match args.require("preset")? {
+            "yng" => DatasetPreset::Yng,
+            "mid" => DatasetPreset::Mid,
+            "unt" => DatasetPreset::Unt,
+            "cre" => DatasetPreset::Cre,
+            other => return Err(format!("unknown preset {other}")),
+        };
+        let scale: f64 = args.get_or("scale", 1.0)?;
+        let ds = if (scale - 1.0).abs() < 1e-12 {
+            preset.build()
+        } else {
+            preset.build_scaled(scale)
+        };
+        eprintln!(
+            "{}: {} genes, {} edges ({} planted modules)",
+            ds.name,
+            ds.network.n(),
+            ds.network.m(),
+            ds.modules.len()
+        );
+        save(
+            &ds.network,
+            args.get("out"),
+            &format!("{} correlation network (rho >= 0.95)", ds.name),
+        )
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn filter` — apply a sampling filter to an edge-list network.
+pub fn filter(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        let g = load(args.require("in")?)?;
+        let ranks: usize = args.get_or("ranks", 1)?;
+        let seed: u64 = args.get_or("seed", 0)?;
+        let part = match args.get("partition").unwrap_or("bfs") {
+            "block" => PartitionKind::Block,
+            "rr" => PartitionKind::RoundRobin,
+            "bfs" => PartitionKind::BfsBlock,
+            other => return Err(format!("unknown partition {other}")),
+        };
+        let algo = args.require("algo")?;
+        let out = match algo {
+            "chordal-seq" => SequentialChordalFilter::new().filter(&g, seed),
+            "chordal-nocomm" => ParallelChordalNoCommFilter::new(ranks, part).filter(&g, seed),
+            "chordal-comm" => ParallelChordalCommFilter::new(ranks, part).filter(&g, seed),
+            "randomwalk" => ParallelRandomWalkFilter::new(ranks, part).filter(&g, seed),
+            "forestfire" => ForestFireFilter::default().filter(&g, seed),
+            "randomnode" => RandomNodeFilter::default().filter(&g, seed),
+            "randomedge" => RandomEdgeFilter::default().filter(&g, seed),
+            other => return Err(format!("unknown algorithm {other}")),
+        };
+        eprintln!(
+            "{}: {} -> {} edges ({:.1}% retained, noise estimate {:.1}%); \
+             borders {} dups {} msgs {} sim {:.3} ms",
+            algo,
+            out.stats.original_edges,
+            out.stats.retained_edges,
+            100.0 * out.retention(),
+            100.0 * out.noise_estimate(),
+            out.stats.border_edges,
+            out.stats.duplicate_border_edges,
+            out.stats.messages,
+            out.stats.sim_makespan * 1e3,
+        );
+        save(&out.graph, args.get("out"), &format!("filtered by {algo}"))
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn cluster` — MCODE clusters of an edge-list network.
+pub fn cluster(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        let g = load(args.require("in")?)?;
+        let params = McodeParams {
+            min_score: args.get_or("min-score", 3.0)?,
+            min_size: args.get_or("min-size", 4)?,
+            ..Default::default()
+        };
+        let clusters = mcode_cluster(&g, &params);
+        if args.has("json") {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&clusters).map_err(|e| e.to_string())?
+            );
+        } else {
+            println!("{} clusters (score >= {})", clusters.len(), params.min_score);
+            for (i, c) in clusters.iter().enumerate() {
+                println!(
+                    "#{:<3} score {:>6.2}  size {:>4}  density {:>5.2}  seed {}",
+                    i + 1,
+                    c.score,
+                    c.size(),
+                    c.density(),
+                    c.seed
+                );
+            }
+        }
+        Ok(())
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn stats` — structural statistics of a network.
+pub fn stats(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        let g = load(args.require("in")?)?;
+        let (_, comps) = casbn_graph::algo::connected_components(&g);
+        let tri = casbn_graph::algo::total_triangles(&g);
+        let census = casbn_graph::algo::cycle_census(&g);
+        println!("vertices        {}", g.n());
+        println!("edges           {}", g.m());
+        println!("density         {:.6}", g.density());
+        println!("max degree      {}", g.max_degree());
+        println!("components      {comps}");
+        println!("triangles       {tri}");
+        println!("indep. cycles   {}", census.independent_cycles);
+        println!("tri-free edges  {}", census.triangle_free_edges);
+        println!("chordal         {}", casbn_chordal::is_chordal(&g));
+        if args.has("centrality") {
+            let deg = casbn_graph::centrality::degree_centrality(&g);
+            let bet = casbn_graph::centrality::betweenness_centrality(&g);
+            let mut top: Vec<usize> = (0..g.n()).collect();
+            top.sort_by(|&a, &b| bet[b].partial_cmp(&bet[a]).unwrap());
+            println!("top betweenness vertices:");
+            for &v in top.iter().take(10) {
+                println!(
+                    "  v{:<8} betweenness {:>10.1}  degree-centrality {:.4}",
+                    v, bet[v], deg[v]
+                );
+            }
+        }
+        Ok(())
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn compare` — cluster-level comparison of two networks.
+pub fn compare(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        let orig = load(args.require("original")?)?;
+        let filt = load(args.require("filtered")?)?;
+        let params = McodeParams::default();
+        let co = mcode_cluster(&orig, &params);
+        let cf = mcode_cluster(&filt, &params);
+        let table = casbn_analysis::overlap_table(&co, &cf);
+        let (lost, found) = casbn_analysis::lost_and_found(&co, &cf);
+        println!(
+            "clusters: original {}, filtered {}; lost {}, newly found {}",
+            co.len(),
+            cf.len(),
+            lost.len(),
+            found.len()
+        );
+        for t in &table {
+            if let Some(oi) = t.best_original {
+                println!(
+                    "filtered #{:<3} ~ original #{:<3}  node {:>5.1}%  edge {:>5.1}%",
+                    t.filtered_idx,
+                    oi,
+                    100.0 * t.node_overlap,
+                    100.0 * t.edge_overlap
+                );
+            }
+        }
+        Ok(())
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}

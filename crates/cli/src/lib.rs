@@ -1,0 +1,5 @@
+//! Library surface of the `casbn` CLI (exposed so the argument parser can
+//! be unit-tested; the binary lives in `main.rs`).
+
+pub mod args;
+pub mod commands;

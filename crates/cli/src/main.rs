@@ -1,0 +1,24 @@
+//! `casbn` — command-line front end for the sampling pipeline. See
+//! `commands::USAGE` for the subcommand reference.
+
+use casbn_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("filter") => commands::filter(&argv[1..]),
+        Some("cluster") => commands::cluster(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("compare") => commands::compare(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

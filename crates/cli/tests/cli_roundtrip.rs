@@ -1,0 +1,131 @@
+//! End-to-end CLI test: generate → filter → compare, through the public
+//! command functions (no subprocess spawning needed).
+
+use casbn_cli::commands;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("casbn_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn sv(xs: &[&str]) -> Vec<String> {
+    xs.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn generate_filter_compare_pipeline() {
+    let net = tmp("net.tsv");
+    let filt = tmp("filt.tsv");
+    let code = commands::generate(&sv(&[
+        "--preset",
+        "yng",
+        "--scale",
+        "0.08",
+        "--out",
+        net.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 0);
+    assert!(net.exists());
+
+    let code = commands::filter(&sv(&[
+        "--in",
+        net.to_str().unwrap(),
+        "--algo",
+        "chordal-nocomm",
+        "--ranks",
+        "4",
+        "--out",
+        filt.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 0);
+    assert!(filt.exists());
+
+    let code = commands::compare(&sv(&[
+        "--original",
+        net.to_str().unwrap(),
+        "--filtered",
+        filt.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 0);
+
+    let code = commands::stats(&sv(&["--in", filt.to_str().unwrap()]));
+    assert_eq!(code, 0);
+
+    let code = commands::cluster(&sv(&["--in", net.to_str().unwrap()]));
+    assert_eq!(code, 0);
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(filt);
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let code = commands::stats(&sv(&["--in", "/nonexistent/never.tsv"]));
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn unknown_algo_fails_cleanly() {
+    let net = tmp("net2.tsv");
+    assert_eq!(
+        commands::generate(&sv(&[
+            "--preset",
+            "mid",
+            "--scale",
+            "0.05",
+            "--out",
+            net.to_str().unwrap()
+        ])),
+        0
+    );
+    let code = commands::filter(&sv(&[
+        "--in",
+        net.to_str().unwrap(),
+        "--algo",
+        "magic",
+    ]));
+    assert_eq!(code, 2);
+    let _ = std::fs::remove_file(net);
+}
+
+#[test]
+fn every_algorithm_runs() {
+    let net = tmp("net3.tsv");
+    assert_eq!(
+        commands::generate(&sv(&[
+            "--preset",
+            "unt",
+            "--scale",
+            "0.05",
+            "--out",
+            net.to_str().unwrap()
+        ])),
+        0
+    );
+    for algo in [
+        "chordal-seq",
+        "chordal-nocomm",
+        "chordal-comm",
+        "randomwalk",
+        "forestfire",
+        "randomnode",
+        "randomedge",
+    ] {
+        let out = tmp(&format!("f_{algo}.tsv"));
+        let code = commands::filter(&sv(&[
+            "--in",
+            net.to_str().unwrap(),
+            "--algo",
+            algo,
+            "--ranks",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0, "{algo} failed");
+        let _ = std::fs::remove_file(out);
+    }
+    let _ = std::fs::remove_file(net);
+}

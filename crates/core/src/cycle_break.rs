@@ -1,0 +1,197 @@
+//! Quasi-chordal cycle reduction — the optional post-pass the paper
+//! sketches in §III-A:
+//!
+//! > "Note that, only border edges can create cycles. Therefore to
+//! > eliminate cycles, we can copy the subgraph induced by the border
+//! > edges to a single processor and delete appropriate edges to break
+//! > the cycle. This however can create cycles within the processors,
+//! > and we have to check the neighbors of the border edges to detect
+//! > cycles. Complete elimination of large cycles is challenging because
+//! > deletion of edges can create newer cycles."
+//!
+//! Implemented faithfully: the border-edge subgraph (plus the one-hop
+//! chordal neighbourhood of its endpoints) is gathered on one processor,
+//! which deletes a minimal set of border edges so that every remaining
+//! border edge closes a triangle in the combined subgraph. As the paper
+//! notes, the result is *less* cyclic, not perfectly chordal — the
+//! [`crate::filter::FilterOutput`] of the repaired graph typically shows
+//! a large drop in triangle-free edges (the long-cycle witnesses counted
+//! by `casbn_graph::algo::cycle_census`).
+
+use casbn_graph::algo::cycle_census;
+use casbn_graph::{Edge, Graph};
+
+/// Outcome of a [`break_cycles`] pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleBreakReport {
+    /// Border edges examined.
+    pub border_edges: usize,
+    /// Border edges deleted to break suspected long cycles.
+    pub deleted: usize,
+    /// Triangle-free edges before the pass (long-cycle witnesses).
+    pub triangle_free_before: usize,
+    /// Triangle-free edges after the pass.
+    pub triangle_free_after: usize,
+}
+
+/// Reduce long cycles in a quasi-chordal subgraph `qcs` by deleting
+/// border edges (edges in `border`) that close no triangle in `qcs`.
+///
+/// A chordal graph's every cycle edge lies in a triangle, so a border
+/// edge participating in no triangle is either a tree/bridge edge
+/// (harmless — kept if it disconnects components) or part of a long
+/// induced cycle (the QCS artefact — deleted). Deletion order is
+/// deterministic (canonical edge order).
+pub fn break_cycles(qcs: &Graph, border: &[Edge]) -> (Graph, CycleBreakReport) {
+    let before = cycle_census(qcs);
+    let mut g = qcs.clone();
+    let mut deleted = 0usize;
+
+    let mut sorted: Vec<Edge> = border
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    for &(u, v) in &sorted {
+        if !g.has_edge(u, v) {
+            continue;
+        }
+        if closes_triangle(&g, u, v) {
+            continue;
+        }
+        // no triangle: either a bridge (keep) or on a long cycle (cut).
+        // Temporarily remove; if u and v remain connected, the edge was on
+        // a cycle and stays removed.
+        g.remove_edge(u, v);
+        if connected(&g, u, v) {
+            deleted += 1;
+        } else {
+            g.add_edge(u, v);
+        }
+    }
+    let after = cycle_census(&g);
+    (
+        g,
+        CycleBreakReport {
+            border_edges: sorted.len(),
+            deleted,
+            triangle_free_before: before.triangle_free_edges,
+            triangle_free_after: after.triangle_free_edges,
+        },
+    )
+}
+
+/// Whether edge `(u, v)` has a common neighbour in `g`.
+fn closes_triangle(g: &Graph, u: u32, v: u32) -> bool {
+    let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+    let (mut i, mut j) = (0, 0);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// BFS connectivity query between `u` and `v`.
+fn connected(g: &Graph, u: u32, v: u32) -> bool {
+    let dist = casbn_graph::algo::bfs_distances(g, u);
+    dist[v as usize] != usize::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chordal_filters::ParallelChordalNoCommFilter;
+    use crate::filter::Filter;
+    use casbn_graph::generators::{caveman, planted_partition};
+    use casbn_graph::{Partition, PartitionKind, VertexId};
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn breaks_a_pure_border_cycle() {
+        // C6 where all edges are "border": one edge removed, path remains
+        let g = cycle(6);
+        let border = g.edge_vec();
+        let (fixed, report) = break_cycles(&g, &border);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(fixed.m(), 5);
+        assert!(casbn_chordal::is_chordal(&fixed));
+    }
+
+    #[test]
+    fn keeps_bridges() {
+        // path graph: every edge is a bridge; nothing must be deleted
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let border = g.edge_vec();
+        let (fixed, report) = break_cycles(&g, &border);
+        assert_eq!(report.deleted, 0);
+        assert!(fixed.same_edges(&g));
+    }
+
+    #[test]
+    fn keeps_triangle_closing_borders() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let (fixed, report) = break_cycles(&g, &g.edge_vec());
+        assert_eq!(report.deleted, 0);
+        assert_eq!(fixed.m(), 3);
+    }
+
+    #[test]
+    fn reduces_triangle_free_edges_of_real_qcs() {
+        let g = caveman(12, 6, 0);
+        let filter = ParallelChordalNoCommFilter::new(4, PartitionKind::Block);
+        let out = filter.filter(&g, 0);
+        let part = Partition::new(&g, 4, PartitionKind::Block);
+        let border: Vec<Edge> = out
+            .graph
+            .edges()
+            .filter(|&(u, v)| part.is_border(u, v))
+            .collect();
+        let (fixed, report) = break_cycles(&out.graph, &border);
+        assert!(report.triangle_free_after <= report.triangle_free_before);
+        assert!(fixed.m() <= out.graph.m());
+        // no vertex becomes disconnected that wasn't already
+        let (_, c_before) = casbn_graph::algo::connected_components(&out.graph);
+        let (_, c_after) = casbn_graph::algo::connected_components(&fixed);
+        assert_eq!(c_before, c_after, "cycle breaking must not disconnect");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, _) = planted_partition(200, 4, 10, 0.8, 100, 3);
+        let filter = ParallelChordalNoCommFilter::new(4, PartitionKind::Block);
+        let out = filter.filter(&g, 0);
+        let part = Partition::new(&g, 4, PartitionKind::Block);
+        let border: Vec<Edge> = out
+            .graph
+            .edges()
+            .filter(|&(u, v)| part.is_border(u, v))
+            .collect();
+        let (a, ra) = break_cycles(&out.graph, &border);
+        let (b, rb) = break_cycles(&out.graph, &border);
+        assert!(a.same_edges(&b));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn idempotent_on_already_repaired_graph() {
+        let g = cycle(8);
+        let border = g.edge_vec();
+        let (fixed, _) = break_cycles(&g, &border);
+        let remaining: Vec<Edge> = fixed.edge_vec();
+        let (fixed2, r2) = break_cycles(&fixed, &remaining);
+        assert_eq!(r2.deleted, 0);
+        assert!(fixed2.same_edges(&fixed));
+    }
+}

@@ -1,0 +1,193 @@
+//! Collective operations over [`RankCtx`]: broadcast, gather and
+//! allreduce, built from point-to-point messages with binomial trees —
+//! the same building blocks an MPI implementation uses, so the simulated
+//! cost of a collective is `O(log P)` latency terms, as on a real
+//! cluster. The filters' assembly stage (gathering per-rank edge lists)
+//! and any future root-side analyses go through these.
+
+use crate::comm::RankCtx;
+
+/// Reserved tag namespace for collectives (high bits set to avoid
+/// colliding with user tags).
+const COLLECTIVE_TAG: u64 = 1 << 62;
+
+/// Binomial-tree broadcast of `payload` from `root`; returns the payload
+/// on every rank.
+///
+/// Tree (in root-relative rank space): vertex `r`'s parent is `r` with
+/// its lowest set bit cleared; its children are `r + 2^j` for every
+/// `2^j` strictly below `r`'s lowest set bit (all powers of two for the
+/// root), sent farthest-first.
+pub fn broadcast(ctx: &mut RankCtx, root: usize, payload: Vec<u8>) -> Vec<u8> {
+    let p = ctx.nranks();
+    if p == 1 {
+        return payload;
+    }
+    // relative rank so any root works with the same tree
+    let me = (ctx.rank() + p - root) % p;
+    let mut data = if me == 0 { payload } else { Vec::new() };
+    if me != 0 {
+        let lowbit = me & me.wrapping_neg();
+        let parent = me - lowbit;
+        let parent_abs = (parent + root) % p;
+        data = ctx.recv(parent_abs, COLLECTIVE_TAG);
+    }
+    // farthest child first: largest power of two ≤ p-1 for the root,
+    // half the lowest set bit for everyone else
+    let start = if me == 0 {
+        1usize << (usize::BITS - 1 - (p - 1).leading_zeros())
+    } else {
+        (me & me.wrapping_neg()) >> 1
+    };
+    let mut k = start;
+    while k >= 1 {
+        let child = me + k;
+        if child < p {
+            let child_abs = (child + root) % p;
+            ctx.send(child_abs, COLLECTIVE_TAG, data.clone());
+        }
+        if k == 1 {
+            break;
+        }
+        k >>= 1;
+    }
+    data
+}
+
+/// Gather every rank's `payload` at `root`. Returns `Some(payloads)` (by
+/// rank) on the root, `None` elsewhere. Linear gather: the volumes in
+/// this workspace are dominated by payload bytes, not latency.
+pub fn gather(ctx: &mut RankCtx, root: usize, payload: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    let p = ctx.nranks();
+    if ctx.rank() == root {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        out[root] = payload;
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r != root {
+                *slot = ctx.recv(r, COLLECTIVE_TAG + 1);
+            }
+        }
+        Some(out)
+    } else {
+        ctx.send(root, COLLECTIVE_TAG + 1, payload);
+        None
+    }
+}
+
+/// Allreduce of a `u64` with a binary operation: recursive doubling
+/// (`log₂ P` rounds; works for any `P` via a pre-fold of the tail ranks).
+pub fn allreduce_u64(ctx: &mut RankCtx, value: u64, op: fn(u64, u64) -> u64) -> u64 {
+    let p = ctx.nranks();
+    let me = ctx.rank();
+    let mut acc = value;
+    // nearest power of two below or equal to p
+    let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    // fold tail ranks into the main block
+    if me >= pow2 {
+        ctx.send(me - pow2, COLLECTIVE_TAG + 2, acc.to_le_bytes().to_vec());
+    } else if me + pow2 < p {
+        let got = ctx.recv(me + pow2, COLLECTIVE_TAG + 2);
+        acc = op(acc, u64::from_le_bytes(got.try_into().unwrap()));
+    }
+    if me < pow2 {
+        let mut dist = 1usize;
+        while dist < pow2 {
+            let partner = me ^ dist;
+            // both send then receive: RankCtx buffers, so no deadlock
+            ctx.send(partner, COLLECTIVE_TAG + 3 + dist as u64, acc.to_le_bytes().to_vec());
+            let got = ctx.recv(partner, COLLECTIVE_TAG + 3 + dist as u64);
+            acc = op(acc, u64::from_le_bytes(got.try_into().unwrap()));
+            dist *= 2;
+        }
+    }
+    // tail ranks get the result back
+    if me >= pow2 {
+        let got = ctx.recv(me - pow2, COLLECTIVE_TAG + 2);
+        acc = u64::from_le_bytes(got.try_into().unwrap());
+    } else if me + pow2 < p {
+        ctx.send(me + pow2, COLLECTIVE_TAG + 2, acc.to_le_bytes().to_vec());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn broadcast_from_zero() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let r = run(p, CostModel::default(), |ctx| {
+                broadcast(ctx, 0, if ctx.rank() == 0 { vec![9, 9, 9] } else { vec![] })
+            });
+            for (rank, out) in r.outputs.iter().enumerate() {
+                assert_eq!(out, &vec![9, 9, 9], "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let r = run(5, CostModel::default(), |ctx| {
+            broadcast(ctx, 3, if ctx.rank() == 3 { vec![42] } else { vec![] })
+        });
+        assert!(r.outputs.iter().all(|o| o == &vec![42]));
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let r = run(6, CostModel::default(), |ctx| {
+            gather(ctx, 2, vec![ctx.rank() as u8])
+        });
+        for (rank, out) in r.outputs.iter().enumerate() {
+            if rank == 2 {
+                let got = out.as_ref().unwrap();
+                for (i, v) in got.iter().enumerate() {
+                    assert_eq!(v, &vec![i as u8]);
+                }
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let r = run(p, CostModel::default(), |ctx| {
+                allreduce_u64(ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+            });
+            let expect: u64 = (1..=p as u64).sum();
+            assert!(
+                r.outputs.iter().all(|&x| x == expect),
+                "p={p}: {:?}",
+                r.outputs
+            );
+            let r = run(p, CostModel::default(), |ctx| {
+                allreduce_u64(ctx, ctx.rank() as u64, u64::max)
+            });
+            assert!(r.outputs.iter().all(|&x| x == p as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn collectives_are_charged_to_the_clock() {
+        let model = CostModel {
+            seconds_per_op: 0.0,
+            latency: 1.0,
+            seconds_per_byte: 0.0,
+        };
+        let r = run(8, model, |ctx| {
+            broadcast(ctx, 0, if ctx.rank() == 0 { vec![1] } else { vec![] });
+            ctx.now()
+        });
+        // every non-root rank's receive completes no earlier than one hop
+        for (rank, &t) in r.outputs.iter().enumerate() {
+            if rank != 0 {
+                assert!(t >= 1.0, "rank {rank} clock {t}");
+            }
+        }
+    }
+}

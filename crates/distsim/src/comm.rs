@@ -1,0 +1,337 @@
+//! Rank execution and message passing.
+
+use crate::cost::{CostModel, SimClock};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// A point-to-point message.
+struct Msg {
+    from: usize,
+    tag: u64,
+    /// Simulated arrival time at the receiver.
+    arrival: f64,
+    payload: Vec<u8>,
+}
+
+/// Shared communicator state.
+struct Shared {
+    mailboxes: Vec<Sender<Msg>>,
+    barrier: Barrier,
+    /// Scratch used to compute the barrier release time (max clock).
+    barrier_max: Mutex<f64>,
+    bytes_sent: AtomicU64,
+    messages: AtomicU64,
+    model: CostModel,
+}
+
+/// Per-rank execution context: rank id, mailbox, simulated clock.
+///
+/// All communication primitives charge the [`CostModel`]; the pattern of
+/// sends/receives fully determines the simulated times, so results are
+/// deterministic regardless of thread scheduling.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    clock: SimClock,
+    inbox: Receiver<Msg>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: Vec<Msg>,
+    shared: Arc<Shared>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current simulated time for this rank.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `ops` abstract compute operations to this rank's clock.
+    #[inline]
+    pub fn compute(&mut self, ops: u64) {
+        self.clock.charge_ops(&self.shared.model, ops);
+    }
+
+    /// Send `payload` to rank `to` under `tag`.
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) {
+        assert!(to < self.nranks, "rank {to} out of range");
+        assert_ne!(to, self.rank, "self-sends are not modelled");
+        let arrival = self.clock.charge_send(&self.shared.model, payload.len());
+        self.shared
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        self.shared.mailboxes[to]
+            .send(Msg {
+                from: self.rank,
+                tag,
+                arrival,
+                payload,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    /// Messages from other sources arriving in between are buffered.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            let m = self.pending.remove(pos);
+            self.clock.charge_recv(m.arrival);
+            return m.payload;
+        }
+        loop {
+            let m = self.inbox.recv().expect("all senders hung up");
+            if m.from == from && m.tag == tag {
+                self.clock.charge_recv(m.arrival);
+                return m.payload;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Barrier across all ranks. Simulated clocks synchronise to the
+    /// maximum clock entering the barrier.
+    pub fn barrier(&mut self) {
+        {
+            let mut mx = self.shared.barrier_max.lock();
+            if self.clock.now() > *mx {
+                *mx = self.clock.now();
+            }
+        }
+        self.shared.barrier.wait();
+        let release = *self.shared.barrier_max.lock();
+        self.clock.sync_to(release);
+        // second phase: reset the scratch once everyone has read it
+        if self.shared.barrier.wait().is_leader() {
+            *self.shared.barrier_max.lock() = 0.0;
+        }
+        self.shared.barrier.wait();
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct DistResult<T> {
+    /// Per-rank return values, indexed by rank.
+    pub outputs: Vec<T>,
+    /// Per-rank final simulated clocks (seconds).
+    pub sim_times: Vec<f64>,
+    /// Simulated makespan: `max(sim_times)`.
+    pub sim_makespan: f64,
+    /// Real wall-clock duration of the threaded execution.
+    pub wall: std::time::Duration,
+    /// Total payload bytes sent across all ranks.
+    pub bytes_sent: u64,
+    /// Total messages sent across all ranks.
+    pub messages: u64,
+}
+
+/// Run `f` on `nranks` ranks, one OS thread each, and collect outputs.
+///
+/// `f` receives a mutable [`RankCtx`] and may freely send/recv/barrier.
+/// Deadlocks in the user protocol will hang, as they would under MPI.
+pub fn run<T, F>(nranks: usize, model: CostModel, f: F) -> DistResult<T>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    assert!(nranks > 0);
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..nranks).map(|_| unbounded::<Msg>()).unzip();
+    let shared = Arc::new(Shared {
+        mailboxes: senders,
+        barrier: Barrier::new(nranks),
+        barrier_max: Mutex::new(0.0),
+        bytes_sent: AtomicU64::new(0),
+        messages: AtomicU64::new(0),
+        model,
+    });
+
+    let started = std::time::Instant::now();
+    let mut outputs: Vec<Option<(T, f64)>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank,
+                    nranks,
+                    clock: SimClock::default(),
+                    inbox,
+                    pending: Vec::new(),
+                    shared,
+                };
+                let out = f(&mut ctx);
+                (out, ctx.clock.now())
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            outputs[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+    let wall = started.elapsed();
+
+    let (outputs, sim_times): (Vec<T>, Vec<f64>) =
+        outputs.into_iter().map(Option::unwrap).unzip();
+    let sim_makespan = sim_times.iter().copied().fold(0.0, f64::max);
+    DistResult {
+        outputs,
+        sim_times,
+        sim_makespan,
+        wall,
+        bytes_sent: shared.bytes_sent.load(Ordering::Relaxed),
+        messages: shared.messages.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_edges, encode_edges};
+
+    #[test]
+    fn single_rank_runs() {
+        let r = run(1, CostModel::default(), |ctx| {
+            ctx.compute(100);
+            ctx.rank()
+        });
+        assert_eq!(r.outputs, vec![0]);
+        assert!(r.sim_makespan > 0.0);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let r = run(2, CostModel::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1, 2, 3]);
+                ctx.recv(1, 8)
+            } else {
+                let got = ctx.recv(0, 7);
+                ctx.send(0, 8, got.clone());
+                got
+            }
+        });
+        assert_eq!(r.outputs[0], vec![1, 2, 3]);
+        assert_eq!(r.outputs[1], vec![1, 2, 3]);
+        assert_eq!(r.messages, 2);
+        assert_eq!(r.bytes_sent, 6);
+    }
+
+    #[test]
+    fn ring_pass_accumulates_latency() {
+        let model = CostModel {
+            seconds_per_op: 0.0,
+            latency: 1.0,
+            seconds_per_byte: 0.0,
+        };
+        let n = 4;
+        let r = run(n, model, |ctx| {
+            let rank = ctx.rank();
+            if rank == 0 {
+                ctx.send((rank + 1) % n, 0, vec![0]);
+                ctx.recv(n - 1, 0);
+            } else {
+                let b = ctx.recv(rank - 1, 0);
+                ctx.send((rank + 1) % n, 0, b);
+            }
+            ctx.now()
+        });
+        // message travels 4 hops, each hop: sender latency 1.0 → clocks grow
+        // along the ring; final rank-0 clock >= 4
+        assert!(r.outputs[0] >= 4.0 - 1e-9, "got {}", r.outputs[0]);
+    }
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let model = CostModel::compute_only(1.0);
+        let r = run(3, model, |ctx| {
+            ctx.compute(ctx.rank() as u64 * 10); // clocks 0, 10, 20
+            ctx.barrier();
+            ctx.now()
+        });
+        for t in &r.outputs {
+            assert!((*t - 20.0).abs() < 1e-9, "clock {t} != 20");
+        }
+    }
+
+    #[test]
+    fn two_barriers_in_sequence() {
+        let model = CostModel::compute_only(1.0);
+        let r = run(2, model, |ctx| {
+            ctx.compute(if ctx.rank() == 0 { 5 } else { 0 });
+            ctx.barrier();
+            ctx.compute(if ctx.rank() == 1 { 7 } else { 0 });
+            ctx.barrier();
+            ctx.now()
+        });
+        for t in &r.outputs {
+            assert!((*t - 12.0).abs() < 1e-9, "clock {t} != 12");
+        }
+    }
+
+    #[test]
+    fn sim_times_deterministic_across_runs() {
+        let f = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.compute(1000);
+                ctx.send(1, 1, encode_edges(&[(1, 2), (3, 4)]));
+            } else {
+                let e = decode_edges(&ctx.recv(0, 1));
+                ctx.compute(10 * e.len() as u64);
+            }
+            ctx.now()
+        };
+        let a = run(2, CostModel::default(), f);
+        let b = run(2, CostModel::default(), f);
+        assert_eq!(a.sim_times, b.sim_times);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let r = run(2, CostModel::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 100, vec![1]);
+                ctx.send(1, 200, vec![2]);
+                0
+            } else {
+                // receive in the opposite order
+                let b = ctx.recv(0, 200);
+                let a = ctx.recv(0, 100);
+                (a[0] as i32) * 10 + b[0] as i32
+            }
+        });
+        assert_eq!(r.outputs[1], 12);
+    }
+
+    #[test]
+    fn many_ranks_oversubscribe_cores() {
+        // 64 ranks must run fine on any machine
+        let r = run(64, CostModel::default(), |ctx| {
+            ctx.compute(10);
+            ctx.barrier();
+            ctx.rank()
+        });
+        assert_eq!(r.outputs.len(), 64);
+        assert_eq!(r.outputs[63], 63);
+    }
+}

@@ -1,0 +1,203 @@
+//! Differential-expression gene selection — the paper's GSE5078
+//! preprocessing (§IV-B): "Preparation of the YNG and MID dataset
+//! included using statistical methods to focus on about 33% of the total
+//! possible genes, which included only those genes that were
+//! differentially expressed between the YNG and MID conditions."
+//!
+//! Implemented as the standard two-sample Welch t-test per gene across
+//! two condition matrices, keeping the genes with the smallest p-values.
+//! The paper notes this preprocessing *hurts* downstream cluster
+//! relevance (co-expression modules are partially decimated) — a
+//! phenomenon the `preprocessing_decimates_modules` test pins down.
+
+use crate::matrix::ExpressionMatrix;
+use crate::pearson::students_t_two_sided_p;
+use casbn_graph::VertexId;
+
+/// Result of a differential-expression screen.
+#[derive(Clone, Debug)]
+pub struct DiffExprResult {
+    /// Genes ordered by ascending p-value (most differential first).
+    pub ranked: Vec<VertexId>,
+    /// Welch t-statistic per gene (input order).
+    pub t_stat: Vec<f64>,
+    /// Two-sided p-value per gene (input order).
+    pub p_value: Vec<f64>,
+}
+
+/// Welch two-sample t-test per gene between condition matrices `a` and
+/// `b` (same gene count; sample counts may differ).
+pub fn differential_expression(a: &ExpressionMatrix, b: &ExpressionMatrix) -> DiffExprResult {
+    assert_eq!(a.genes(), b.genes(), "gene sets must match");
+    let (na, nb) = (a.samples() as f64, b.samples() as f64);
+    assert!(na >= 2.0 && nb >= 2.0, "need at least two samples per condition");
+    let mut t_stat = Vec::with_capacity(a.genes());
+    let mut p_value = Vec::with_capacity(a.genes());
+    for g in 0..a.genes() {
+        let (ma, va) = mean_var(a.row(g));
+        let (mb, vb) = mean_var(b.row(g));
+        let se2 = va / na + vb / nb;
+        if se2 <= 0.0 {
+            t_stat.push(0.0);
+            p_value.push(1.0);
+            continue;
+        }
+        let t = (ma - mb) / se2.sqrt();
+        // Welch–Satterthwaite degrees of freedom
+        let df = se2 * se2
+            / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+        t_stat.push(t);
+        p_value.push(students_t_two_sided_p(t.abs(), df));
+    }
+    let mut ranked: Vec<VertexId> = (0..a.genes() as VertexId).collect();
+    ranked.sort_by(|&x, &y| {
+        p_value[x as usize]
+            .partial_cmp(&p_value[y as usize])
+            .unwrap()
+            .then(x.cmp(&y))
+    });
+    DiffExprResult {
+        ranked,
+        t_stat,
+        p_value,
+    }
+}
+
+/// Keep the top `fraction` most-differential genes (the paper's "about
+/// 33%"): returns the selected gene ids, ascending.
+pub fn select_top_fraction(result: &DiffExprResult, fraction: f64) -> Vec<VertexId> {
+    let k = ((result.ranked.len() as f64) * fraction).round() as usize;
+    let mut sel: Vec<VertexId> = result.ranked[..k.min(result.ranked.len())].to_vec();
+    sel.sort_unstable();
+    sel
+}
+
+/// Restrict an expression matrix to a gene subset (ids ascending);
+/// returns the submatrix and the id map (new → old).
+pub fn restrict_genes(m: &ExpressionMatrix, genes: &[VertexId]) -> (ExpressionMatrix, Vec<VertexId>) {
+    let mut data = Vec::with_capacity(genes.len() * m.samples());
+    for &g in genes {
+        data.extend_from_slice(m.row(g as usize));
+    }
+    (
+        ExpressionMatrix::from_rows(genes.len(), m.samples(), data),
+        genes.to_vec(),
+    )
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticMicroarray, SyntheticParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn conditions_with_shifted_genes(
+        genes: usize,
+        shifted: &[usize],
+        delta: f64,
+        seed: u64,
+    ) -> (ExpressionMatrix, ExpressionMatrix) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut mk = |shift: bool| {
+            let mut m = ExpressionMatrix::zeros(genes, 10);
+            for g in 0..genes {
+                let base = if shift && shifted.contains(&g) { delta } else { 0.0 };
+                for x in m.row_mut(g) {
+                    *x = base + crate::matrix::normal(&mut rng);
+                }
+            }
+            m
+        };
+        (mk(false), mk(true))
+    }
+
+    #[test]
+    fn shifted_genes_rank_first() {
+        let shifted = [3usize, 7, 11];
+        let (a, b) = conditions_with_shifted_genes(50, &shifted, 4.0, 1);
+        let r = differential_expression(&a, &b);
+        let top: Vec<usize> = r.ranked[..3].iter().map(|&v| v as usize).collect();
+        for s in shifted {
+            assert!(top.contains(&s), "gene {s} should be in the top 3: {top:?}");
+        }
+        for s in shifted {
+            assert!(r.p_value[s] < 0.01, "p[{s}] = {}", r.p_value[s]);
+        }
+    }
+
+    #[test]
+    fn null_genes_have_uniformish_pvalues() {
+        let (a, b) = conditions_with_shifted_genes(200, &[], 0.0, 2);
+        let r = differential_expression(&a, &b);
+        let small = r.p_value.iter().filter(|&&p| p < 0.05).count();
+        // ~5% expected under the null
+        assert!(small < 30, "too many false positives: {small}/200");
+    }
+
+    #[test]
+    fn select_top_fraction_sizes() {
+        let (a, b) = conditions_with_shifted_genes(90, &[1, 2], 3.0, 3);
+        let r = differential_expression(&a, &b);
+        let sel = select_top_fraction(&r, 0.33);
+        assert_eq!(sel.len(), 30);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+    }
+
+    #[test]
+    fn restrict_genes_submatrix() {
+        let m = ExpressionMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let (sub, map) = restrict_genes(&m, &[0, 2]);
+        assert_eq!(sub.genes(), 2);
+        assert_eq!(sub.row(1), &[5.0, 6.0]);
+        assert_eq!(map, vec![0, 2]);
+    }
+
+    #[test]
+    fn preprocessing_decimates_modules() {
+        // the paper's observation: DE screening on conditions that do NOT
+        // shift whole modules removes module members, weakening clusters
+        let arr_a = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 300,
+                samples: 10,
+                modules: 6,
+                module_size: 10,
+                loading_sq: 0.95,
+            },
+            5,
+        );
+        let arr_b = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 300,
+                samples: 10,
+                modules: 6,
+                module_size: 10,
+                loading_sq: 0.95,
+            },
+            6,
+        );
+        let r = differential_expression(&arr_a.matrix, &arr_b.matrix);
+        let kept: std::collections::BTreeSet<VertexId> =
+            select_top_fraction(&r, 0.33).into_iter().collect();
+        // expected module survival under an (approximately) random 33% cut
+        let mut survivors = 0usize;
+        let mut total = 0usize;
+        for m in &arr_a.modules {
+            total += m.len();
+            survivors += m.iter().filter(|v| kept.contains(v)).count();
+        }
+        let frac = survivors as f64 / total as f64;
+        assert!(
+            frac < 0.6,
+            "DE screen should decimate unshifted modules, kept {frac:.2}"
+        );
+    }
+}

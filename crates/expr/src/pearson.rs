@@ -1,0 +1,339 @@
+//! All-pairs Pearson correlation with significance thresholding — the
+//! correlation-network construction of §IV-A.
+
+use crate::matrix::ExpressionMatrix;
+use casbn_graph::{Edge, Graph};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for network construction. Defaults are the paper's:
+/// `0.95 ≤ ρ ≤ 1.00`, `p ≤ 0.0005`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Minimum Pearson correlation (positive correlations only, as in the
+    /// paper's final networks).
+    pub min_rho: f64,
+    /// Maximum two-sided p-value of the correlation t-test.
+    pub max_p: f64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            min_rho: 0.95,
+            max_p: 0.0005,
+        }
+    }
+}
+
+/// A thresholded correlation network: the graph plus each retained edge's
+/// correlation coefficient.
+#[derive(Clone, Debug)]
+pub struct CorrelationNetwork {
+    /// The network (vertex = gene index in the expression matrix).
+    pub graph: Graph,
+    /// `(edge, ρ)` for every retained edge, canonical edge order.
+    pub weights: Vec<(Edge, f64)>,
+}
+
+impl CorrelationNetwork {
+    /// Build the network from an expression matrix. All `O(genes²)` pairs
+    /// are evaluated in parallel (rayon); a pair becomes an edge iff it
+    /// passes both thresholds.
+    pub fn from_expression(m: &ExpressionMatrix, params: NetworkParams) -> Self {
+        let z = m.standardized();
+        let genes = m.genes();
+        let samples = m.samples();
+        let inv = 1.0 / samples as f64;
+
+        let mut weights: Vec<(Edge, f64)> = (0..genes)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let ri = z.row(i);
+                let z = &z;
+                (i + 1..genes).filter_map(move |j| {
+                    let rho = ri
+                        .iter()
+                        .zip(z.row(j))
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        * inv;
+                    if rho >= params.min_rho && pearson_p_value(rho, samples) <= params.max_p {
+                        Some(((i as u32, j as u32), rho))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        weights.sort_unstable_by_key(|a| a.0);
+        let edges: Vec<Edge> = weights.iter().map(|&(e, _)| e).collect();
+        CorrelationNetwork {
+            graph: Graph::from_edges(genes, &edges),
+            weights,
+        }
+    }
+}
+
+/// Two-sided p-value of a Pearson correlation `r` over `n` samples, via
+/// the exact t-distribution relation `t = r·√((n−2)/(1−r²))` and the
+/// regularised incomplete beta function.
+pub fn pearson_p_value(r: f64, n: usize) -> f64 {
+    if n <= 2 {
+        return 1.0;
+    }
+    let r = r.clamp(-1.0, 1.0);
+    if r.abs() >= 1.0 {
+        return 0.0;
+    }
+    let df = (n - 2) as f64;
+    let t2 = r * r * df / (1.0 - r * r);
+    // P(|T| > t) = I_{df/(df+t²)}(df/2, 1/2)
+    inc_beta(df / 2.0, 0.5, df / (df + t2))
+}
+
+/// Two-sided p-value of a Student-t statistic `t` with (possibly
+/// fractional, e.g. Welch–Satterthwaite) degrees of freedom `df`.
+pub fn students_t_two_sided_p(t: f64, df: f64) -> f64 {
+    if df <= 0.0 {
+        return 1.0;
+    }
+    let t = t.abs();
+    inc_beta(df / 2.0, 0.5, df / (df + t * t))
+}
+
+/// ln Γ(x), Lanczos approximation (|error| < 2e-10 for x > 0).
+fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularised incomplete beta `I_x(a, b)` by continued fraction.
+fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_IT: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_IT {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticMicroarray, SyntheticParams};
+
+    #[test]
+    fn p_value_limits() {
+        assert_eq!(pearson_p_value(1.0, 10), 0.0);
+        assert_eq!(pearson_p_value(0.5, 2), 1.0);
+        // r = 0 => p = 1
+        assert!((pearson_p_value(0.0, 20) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_value_matches_known_values() {
+        // r = 0.95, n = 8 → t = 7.448, df = 6 → two-sided p ≈ 2.9e-4
+        let p = pearson_p_value(0.95, 8);
+        assert!(
+            (2.0e-4..4.0e-4).contains(&p),
+            "p(0.95, n=8) = {p:.2e}, expected ≈ 2.9e-4"
+        );
+        // r = 0.6, n = 12 → p ≈ 0.039
+        let p = pearson_p_value(0.6, 12);
+        assert!((0.03..0.05).contains(&p), "p(0.6, n=12) = {p:.3}");
+    }
+
+    #[test]
+    fn p_value_monotone_in_r() {
+        let ps: Vec<f64> = [0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]
+            .iter()
+            .map(|&r| pearson_p_value(r, 10))
+            .collect();
+        for w in ps.windows(2) {
+            assert!(w[0] > w[1], "p not decreasing: {ps:?}");
+        }
+    }
+
+    #[test]
+    fn p_value_decreases_with_samples() {
+        assert!(pearson_p_value(0.9, 6) > pearson_p_value(0.9, 30));
+    }
+
+    #[test]
+    fn inc_beta_is_a_cdf() {
+        assert_eq!(inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inc_beta(2.0, 3.0, 1.0), 1.0);
+        // symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+        let x = 0.3;
+        let lhs = inc_beta(2.0, 5.0, x);
+        let rhs = 1.0 - inc_beta(5.0, 2.0, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform)
+        assert!((inc_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_finds_planted_modules() {
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 120,
+                samples: 20,
+                modules: 3,
+                module_size: 8,
+                loading_sq: 0.99,
+            },
+            3,
+        );
+        let net = CorrelationNetwork::from_expression(
+            &arr.matrix,
+            NetworkParams {
+                min_rho: 0.9,
+                max_p: 0.001,
+            },
+        );
+        // each module should appear nearly complete
+        for m in &arr.modules {
+            let (sub, _) = net.graph.induced_subgraph(m);
+            let possible = m.len() * (m.len() - 1) / 2;
+            assert!(
+                sub.m() as f64 > 0.7 * possible as f64,
+                "module retained {} of {possible}",
+                sub.m()
+            );
+        }
+    }
+
+    #[test]
+    fn few_samples_produce_noise_edges() {
+        // pure-noise matrix with few samples: some pairs cross ρ ≥ 0.95
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 800,
+                samples: 8,
+                modules: 0,
+                module_size: 0,
+                loading_sq: 0.0,
+            },
+            5,
+        );
+        let net = CorrelationNetwork::from_expression(&arr.matrix, NetworkParams::default());
+        assert!(
+            net.graph.m() > 0,
+            "expected spurious edges from small-sample Pearson noise"
+        );
+        // and they are rarer with more samples
+        let arr2 = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 800,
+                samples: 40,
+                modules: 0,
+                module_size: 0,
+                loading_sq: 0.0,
+            },
+            5,
+        );
+        let net2 = CorrelationNetwork::from_expression(&arr2.matrix, NetworkParams::default());
+        assert!(net2.graph.m() < net.graph.m());
+    }
+
+    #[test]
+    fn weights_match_graph() {
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 60,
+                samples: 15,
+                modules: 2,
+                module_size: 6,
+                loading_sq: 0.98,
+            },
+            9,
+        );
+        let net = CorrelationNetwork::from_expression(
+            &arr.matrix,
+            NetworkParams {
+                min_rho: 0.8,
+                max_p: 0.01,
+            },
+        );
+        assert_eq!(net.weights.len(), net.graph.m());
+        for &((u, v), rho) in &net.weights {
+            assert!(net.graph.has_edge(u, v));
+            assert!(rho >= 0.8);
+            // cross-check against the direct formula
+            let direct = arr.matrix.pearson(u as usize, v as usize);
+            assert!((rho - direct).abs() < 1e-9);
+        }
+    }
+}

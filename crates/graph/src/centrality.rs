@@ -1,0 +1,274 @@
+//! Vertex centrality measures from the paper's background (§II):
+//! "Previous studies have identified high centrality nodes (degree,
+//! betweenness, closeness and their combinations) to relate to node
+//! essentiality in terms of network robustness and organism survival."
+//!
+//! Used by the evaluation harness to verify that the chordal filter keeps
+//! the high-centrality backbone of the network (key genes), and exposed
+//! through the CLI for exploratory analysis.
+
+use crate::graph::{Graph, VertexId};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Degree centrality: degree / (n − 1).
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    (0..n as VertexId)
+        .map(|v| g.degree(v) as f64 / denom)
+        .collect()
+}
+
+/// Closeness centrality with the Wasserman–Faust component correction:
+/// `((r−1)/(n−1)) · ((r−1)/Σd)` where `r` is the size of `v`'s reachable
+/// set — well-defined on the fragmented correlation networks this
+/// workspace produces.
+pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let dist = crate::algo::bfs_distances(g, v);
+            let mut sum = 0usize;
+            let mut reach = 0usize;
+            for &d in &dist {
+                if d != usize::MAX && d > 0 {
+                    sum += d;
+                    reach += 1;
+                }
+            }
+            if sum == 0 {
+                0.0
+            } else {
+                let r = reach as f64;
+                (r / (n - 1) as f64) * (r / sum as f64)
+            }
+        })
+        .collect()
+}
+
+/// Betweenness centrality by Brandes' algorithm (unweighted), with the
+/// per-source accumulation parallelised over sources. Scores are the raw
+/// (unnormalised) pair-dependency sums of the undirected convention
+/// (each pair counted once).
+pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let partials: Vec<Vec<f64>> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|s| brandes_source(g, s))
+        .collect();
+    let mut bc = vec![0.0; n];
+    for p in partials {
+        for (i, x) in p.into_iter().enumerate() {
+            bc[i] += x;
+        }
+    }
+    // undirected: each pair double-counted
+    for x in bc.iter_mut() {
+        *x /= 2.0;
+    }
+    bc
+}
+
+fn brandes_source(g: &Graph, s: VertexId) -> Vec<f64> {
+    let n = g.n();
+    let mut stack: Vec<VertexId> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    sigma[s as usize] = 1.0;
+    dist[s as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(s);
+    while let Some(v) = q.pop_front() {
+        stack.push(v);
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == i64::MAX {
+                dist[w as usize] = dv + 1;
+                q.push_back(w);
+            }
+            if dist[w as usize] == dv + 1 {
+                sigma[w as usize] += sigma[v as usize];
+                preds[w as usize].push(v);
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    let mut out = vec![0.0f64; n];
+    while let Some(w) = stack.pop() {
+        for &v in &preds[w as usize] {
+            delta[v as usize] +=
+                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+        }
+        if w != s {
+            out[w as usize] += delta[w as usize];
+        }
+    }
+    out
+}
+
+/// Spearman rank correlation between two score vectors — used to compare
+/// centrality rankings before and after filtering.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let (da, db) = (ra[i] - mean, rb[i] - mean);
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).unwrap().then(i.cmp(&j)));
+    let mut r = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, gnm};
+
+    fn star(n: usize) -> Graph {
+        let edges: Vec<_> = (1..n).map(|i| (0, i as VertexId)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn degree_centrality_of_star() {
+        let c = degree_centrality(&star(5));
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for &x in &c[1..] {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closeness_peaks_at_path_center() {
+        let c = closeness_centrality(&path(5));
+        let max = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 2, "center of a P5 has max closeness: {c:?}");
+    }
+
+    #[test]
+    fn betweenness_of_path() {
+        // P4 0-1-2-3: pairs through 1: (0,2),(0,3) → 2; through 2: (0,3),(1,3) → 2
+        let bc = betweenness_centrality(&path(4));
+        assert!((bc[0]).abs() < 1e-9);
+        assert!((bc[1] - 2.0).abs() < 1e-9, "{bc:?}");
+        assert!((bc[2] - 2.0).abs() < 1e-9);
+        assert!((bc[3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_of_star_center() {
+        // star K1,4: center mediates C(4,2)=6 pairs
+        let bc = betweenness_centrality(&star(5));
+        assert!((bc[0] - 6.0).abs() < 1e-9, "{bc:?}");
+    }
+
+    #[test]
+    fn betweenness_zero_on_clique() {
+        let mut g = Graph::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                g.add_edge(u, v);
+            }
+        }
+        let bc = betweenness_centrality(&g);
+        assert!(bc.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let c = closeness_centrality(&g);
+        assert!(c[4] == 0.0);
+        let bc = betweenness_centrality(&g);
+        assert!(bc.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn spearman_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hubs_rank_high_everywhere_on_scale_free() {
+        let g = barabasi_albert(300, 3, 7);
+        let deg = degree_centrality(&g);
+        let bet = betweenness_centrality(&g);
+        let rho = spearman(&deg, &bet);
+        assert!(rho > 0.5, "degree/betweenness rank agreement {rho:.2}");
+    }
+
+    #[test]
+    fn centrality_vectors_have_graph_length() {
+        let g = gnm(40, 80, 3);
+        assert_eq!(degree_centrality(&g).len(), 40);
+        assert_eq!(closeness_centrality(&g).len(), 40);
+        assert_eq!(betweenness_centrality(&g).len(), 40);
+    }
+}

@@ -1,0 +1,373 @@
+//! Core undirected graph structure with sorted adjacency lists.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. Kept at 32 bits: the paper's largest network has
+/// 27,896 vertices, and 32-bit ids halve the memory traffic of adjacency
+/// scans relative to `usize`.
+pub type VertexId = u32;
+
+/// Canonical undirected edge, always stored as `(min, max)`.
+pub type Edge = (VertexId, VertexId);
+
+/// A simple undirected graph.
+///
+/// Invariants maintained by every constructor and mutator:
+///
+/// * adjacency lists are sorted ascending and contain no duplicates,
+/// * no self-loops,
+/// * `m` equals the number of undirected edges (each edge appears in exactly
+///   two adjacency lists).
+///
+/// `has_edge` is a binary search (`O(log d)`), which keeps the
+/// Dearing–Shier–Warner candidate updates and the MCODE neighbourhood
+/// density computations within their published complexity bounds.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<VertexId>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Create an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Build a graph from an edge list. Duplicate edges and self-loops are
+    /// ignored. Vertex count is `n`; any edge endpoint `>= n` panics.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the undirected edge `(u, v)` is present.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.n() || v as usize >= self.n() {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Insert the undirected edge `(u, v)`. Returns `true` if the edge was
+    /// newly added, `false` if it already existed or is a self-loop.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(
+            (u as usize) < self.n() && (v as usize) < self.n(),
+            "edge ({u}, {v}) out of range for n={}",
+            self.n()
+        );
+        if u == v {
+            return false;
+        }
+        let pos = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.adj[u as usize].insert(pos, v);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("adjacency lists out of sync");
+        self.adj[v as usize].insert(pos, u);
+        self.m += 1;
+        true
+    }
+
+    /// Remove the undirected edge `(u, v)`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.n() || v as usize >= self.n() || u == v {
+            return false;
+        }
+        let pos = match self.adj[u as usize].binary_search(&v) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        self.adj[u as usize].remove(pos);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("adjacency lists out of sync");
+        self.adj[v as usize].remove(pos);
+        self.m -= 1;
+        true
+    }
+
+    /// Iterate all edges in canonical `(min, max)` order, ascending.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as VertexId;
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Collect all edges into a vector (canonical order).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n() as VertexId
+    }
+
+    /// The subgraph induced by `verts` (ids are remapped to `0..verts.len()`
+    /// following the order of `verts`). Returns the subgraph and the map
+    /// from new id to original id.
+    pub fn induced_subgraph(&self, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut new_id = vec![VertexId::MAX; self.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            new_id[v as usize] = i as VertexId;
+        }
+        let mut sg = Graph::new(verts.len());
+        for &v in verts {
+            for &w in self.neighbors(v) {
+                if v < w && new_id[w as usize] != VertexId::MAX {
+                    sg.add_edge(new_id[v as usize], new_id[w as usize]);
+                }
+            }
+        }
+        (sg, verts.to_vec())
+    }
+
+    /// Relabel vertices by `perm`, where `perm[old] = new`. The result has
+    /// the same structure with vertex `old` renamed to `perm[old]`.
+    pub fn permuted(&self, perm: &[VertexId]) -> Graph {
+        assert_eq!(perm.len(), self.n(), "permutation length mismatch");
+        let mut g = Graph::new(self.n());
+        for (u, v) in self.edges() {
+            g.add_edge(perm[u as usize], perm[v as usize]);
+        }
+        g
+    }
+
+    /// Edge density `2m / (n (n-1))`; 0 for graphs with fewer than 2 vertices.
+    pub fn density(&self) -> f64 {
+        let n = self.n();
+        if n < 2 {
+            return 0.0;
+        }
+        (2.0 * self.m as f64) / (n as f64 * (n as f64 - 1.0))
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Freeze into a CSR view for cache-friendly read-only traversal.
+    pub fn to_csr(&self) -> Csr {
+        let mut xadj = Vec::with_capacity(self.n() + 1);
+        let mut adjncy = Vec::with_capacity(2 * self.m);
+        xadj.push(0u32);
+        for nbrs in &self.adj {
+            adjncy.extend_from_slice(nbrs);
+            xadj.push(adjncy.len() as u32);
+        }
+        Csr { xadj, adjncy }
+    }
+
+    /// Structural equality on the edge sets (vertex counts must match).
+    pub fn same_edges(&self, other: &Graph) -> bool {
+        self.n() == other.n() && self.adj == other.adj
+    }
+}
+
+/// Compressed-sparse-row view of a [`Graph`].
+///
+/// Read-only; used by the hot loops (chordal extraction, random walks,
+/// Pearson-network BFS) where pointer-chasing through `Vec<Vec<_>>` would
+/// waste cache lines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Csr {
+    xadj: Vec<u32>,
+    adjncy: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.xadj[v as usize] as usize;
+        let e = self.xadj[v as usize + 1] as usize;
+        &self.adjncy[s..e]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
+    }
+
+    /// Whether edge `(u, v)` is present (binary search on the shorter list).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Graph::new(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new(3);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_symmetric() {
+        let g = Graph::from_edges(5, &[(3, 1), (0, 4), (1, 0), (4, 1)]);
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            for &w in nbrs {
+                assert!(g.neighbors(w).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 9)); // out of range is just "absent"
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = path4();
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.m(), 2);
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_canonical_and_complete() {
+        let g = Graph::from_edges(4, &[(2, 0), (3, 2), (1, 0)]);
+        let es = g.edge_vec();
+        assert_eq!(es, vec![(0, 1), (0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        let (sg, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sg.n(), 3);
+        assert_eq!(sg.m(), 3); // (1,2),(2,3),(1,3) -> triangle
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = path4();
+        // reverse labels
+        let perm = vec![3, 2, 1, 0];
+        let p = g.permuted(&perm);
+        assert_eq!(p.m(), 3);
+        assert!(p.has_edge(3, 2));
+        assert!(p.has_edge(2, 1));
+        assert!(p.has_edge(1, 0));
+    }
+
+    #[test]
+    fn density_of_triangle_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_matches_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let c = g.to_csr();
+        assert_eq!(c.n(), g.n());
+        assert_eq!(c.m(), g.m());
+        for v in g.vertices() {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+            assert_eq!(c.degree(v), g.degree(v));
+        }
+        assert!(c.has_edge(1, 4));
+        assert!(!c.has_edge(0, 3));
+    }
+}

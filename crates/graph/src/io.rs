@@ -1,0 +1,159 @@
+//! Plain-text graph I/O: whitespace-separated edge lists (the format GEO
+//! pipeline tools and Cytoscape exchange), with optional per-edge weights
+//! — how a user brings their *own* correlation network into the CASBN
+//! pipeline.
+
+use crate::graph::{Graph, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is not `u v [w]` (1-based line number, content).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, s) => write!(f, "line {line}: cannot parse {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// A parsed weighted edge: canonical endpoints plus weight.
+pub type WeightedEdge = ((VertexId, VertexId), f64);
+
+/// Read an edge list: one `u v` (or `u v weight`) per line; `#` comments
+/// and blank lines ignored. The vertex count is `max id + 1` unless a
+/// larger `min_vertices` is given. Returns the graph and the weights
+/// (1.0 where the input had none).
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<(Graph, Vec<WeightedEdge>), IoError> {
+    let mut edges: Vec<WeightedEdge> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Parse(lineno + 1, s.to_string()));
+        };
+        let u: VertexId = a
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, s.to_string()))?;
+        let v: VertexId = b
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, s.to_string()))?;
+        let w: f64 = match it.next() {
+            Some(t) => t
+                .parse()
+                .map_err(|_| IoError::Parse(lineno + 1, s.to_string()))?,
+            None => 1.0,
+        };
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push(((u.min(v), u.max(v)), w));
+    }
+    let n = ((max_id + 1) as usize).max(min_vertices);
+    let bare: Vec<(VertexId, VertexId)> = edges.iter().map(|&(e, _)| e).collect();
+    Ok((Graph::from_edges(n, &bare), edges))
+}
+
+/// Write `g` as an edge list, one `u\tv` per line, with an optional
+/// header comment.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W, header: Option<&str>) -> std::io::Result<()> {
+    if let Some(h) = header {
+        writeln!(writer, "# {h}")?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Write a weighted edge list (`u\tv\tweight`).
+pub fn write_weighted_edge_list<W: Write>(
+    edges: &[WeightedEdge],
+    mut writer: W,
+    header: Option<&str>,
+) -> std::io::Result<()> {
+    if let Some(h) = header {
+        writeln!(writer, "# {h}")?;
+    }
+    for &((u, v), w) in edges {
+        writeln!(writer, "{u}\t{v}\t{w}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnm;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = gnm(40, 90, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, Some("test graph")).unwrap();
+        let (g2, weights) = read_edge_list(&buf[..], 40).unwrap();
+        assert!(g.same_edges(&g2));
+        assert!(weights.iter().all(|&(_, w)| w == 1.0));
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let edges = vec![((0u32, 1u32), 0.97), ((1, 2), 0.95)];
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&edges, &mut buf, None).unwrap();
+        let (g, back) = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let input = "# header\n\n0 1\n  \n# more\n1 2 0.5\n";
+        let (g, w) = read_edge_list(input.as_bytes(), 0).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(w[1].1, 0.5);
+    }
+
+    #[test]
+    fn bad_lines_error_with_position() {
+        let input = "0 1\nnot an edge\n";
+        match read_edge_list(input.as_bytes(), 0) {
+            Err(IoError::Parse(2, s)) => assert!(s.contains("not an edge")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_vertices_pads() {
+        let (g, _) = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let (g, _) = read_edge_list("0 1\n1 0\n0 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Vertex partitioners and border-edge classification.
+//!
+//! The parallel filters (paper §III-A) divide the network into `P`
+//! partitions; edges internal to a partition are processed locally, edges
+//! whose endpoints lie in different partitions are *border edges*. The
+//! partitioning strategy is the "data distribution" axis of hypothesis H0c.
+
+use crate::algo::connected_components;
+use crate::graph::{Edge, Graph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Partitioning strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Contiguous blocks of vertex ids (`id * P / n`). This is the natural
+    /// distribution for a relabelled (ordered) graph and what an MPI code
+    /// reading a vertex range per rank would use.
+    Block,
+    /// Round-robin by id (`id mod P`) — a deliberately bad locality
+    /// distribution, maximising border edges; used to stress H0c.
+    RoundRobin,
+    /// BFS-grown blocks: contiguous regions of the graph topology rather
+    /// than the id space, approximating a locality-aware partitioner.
+    BfsBlock,
+}
+
+/// A `P`-way vertex partition of a graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Partition {
+    part_of: Vec<u32>,
+    nparts: usize,
+}
+
+/// Border edges of a partition, grouped per part.
+#[derive(Clone, Debug, Default)]
+pub struct BorderEdges {
+    /// For each part `p`, the border edges with at least one endpoint in
+    /// `p`, canonical form. An edge between parts `p` and `q` appears in
+    /// both lists — exactly the information each rank owns in a
+    /// distributed edge-cut representation.
+    pub per_part: Vec<Vec<Edge>>,
+    /// All border edges, deduplicated, canonical order.
+    pub all: Vec<Edge>,
+}
+
+impl Partition {
+    /// Partition the vertices of `g` into `nparts` parts with strategy
+    /// `kind`.
+    pub fn new(g: &Graph, nparts: usize, kind: PartitionKind) -> Self {
+        assert!(nparts > 0, "need at least one part");
+        let n = g.n();
+        let part_of = match kind {
+            PartitionKind::Block => (0..n)
+                .map(|v| ((v as u64 * nparts as u64) / n.max(1) as u64) as u32)
+                .collect(),
+            PartitionKind::RoundRobin => (0..n).map(|v| (v % nparts) as u32).collect(),
+            PartitionKind::BfsBlock => bfs_blocks(g, nparts),
+        };
+        Partition { part_of, nparts }
+    }
+
+    /// Build directly from an assignment vector (used by tests).
+    pub fn from_assignment(part_of: Vec<u32>, nparts: usize) -> Self {
+        assert!(part_of.iter().all(|&p| (p as usize) < nparts));
+        Partition { part_of, nparts }
+    }
+
+    /// Part id of vertex `v`.
+    #[inline]
+    pub fn part(&self, v: VertexId) -> u32 {
+        self.part_of[v as usize]
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// Vertices of part `p`, ascending.
+    pub fn vertices_of(&self, p: u32) -> Vec<VertexId> {
+        (0..self.part_of.len() as VertexId)
+            .filter(|&v| self.part_of[v as usize] == p)
+            .collect()
+    }
+
+    /// Sizes of all parts.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.nparts];
+        for &p in &self.part_of {
+            s[p as usize] += 1;
+        }
+        s
+    }
+
+    /// Whether edge `(u, v)` crosses parts.
+    #[inline]
+    pub fn is_border(&self, u: VertexId, v: VertexId) -> bool {
+        self.part(u) != self.part(v)
+    }
+
+    /// Split the edges of `g` into internal edges per part and border edges.
+    pub fn split_edges(&self, g: &Graph) -> (Vec<Vec<Edge>>, BorderEdges) {
+        let mut internal = vec![Vec::new(); self.nparts];
+        let mut border = BorderEdges {
+            per_part: vec![Vec::new(); self.nparts],
+            all: Vec::new(),
+        };
+        for (u, v) in g.edges() {
+            let (pu, pv) = (self.part(u), self.part(v));
+            if pu == pv {
+                internal[pu as usize].push((u, v));
+            } else {
+                border.per_part[pu as usize].push((u, v));
+                border.per_part[pv as usize].push((u, v));
+                border.all.push((u, v));
+            }
+        }
+        (internal, border)
+    }
+
+    /// Number of border edges under this partition.
+    pub fn border_count(&self, g: &Graph) -> usize {
+        g.edges().filter(|&(u, v)| self.is_border(u, v)).count()
+    }
+}
+
+/// Grow `nparts` roughly equal BFS regions. Components are consumed in
+/// order; a part is "full" at `ceil(n / nparts)` vertices, after which the
+/// next part begins at the BFS frontier.
+fn bfs_blocks(g: &Graph, nparts: usize) -> Vec<u32> {
+    let n = g.n();
+    let target = n.div_ceil(nparts);
+    let mut part_of = vec![u32::MAX; n];
+    let mut current: u32 = 0;
+    let mut filled = 0usize;
+    let mut q = VecDeque::new();
+    // visit components by smallest vertex id for determinism
+    let (comp, _) = connected_components(g);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (comp[v], v));
+    for s in order {
+        if part_of[s] != u32::MAX {
+            continue;
+        }
+        q.push_back(s as VertexId);
+        part_of[s] = current;
+        filled += 1;
+        if filled >= target && (current as usize) < nparts - 1 {
+            current += 1;
+            filled = 0;
+        }
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if part_of[w as usize] == u32::MAX {
+                    part_of[w as usize] = current;
+                    filled += 1;
+                    q.push_back(w);
+                    if filled >= target && (current as usize) < nparts - 1 {
+                        current += 1;
+                        filled = 0;
+                    }
+                }
+            }
+        }
+    }
+    part_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnm;
+
+    #[test]
+    fn block_partition_is_contiguous_and_balanced() {
+        let g = Graph::new(10);
+        let p = Partition::new(&g, 3, PartitionKind::Block);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+        // contiguity: part ids are non-decreasing in vertex id
+        let ids: Vec<u32> = (0..10).map(|v| p.part(v)).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let g = Graph::new(6);
+        let p = Partition::new(&g, 2, PartitionKind::RoundRobin);
+        assert_eq!(p.part(0), 0);
+        assert_eq!(p.part(1), 1);
+        assert_eq!(p.part(2), 0);
+    }
+
+    #[test]
+    fn bfs_block_covers_all_vertices() {
+        let g = gnm(100, 250, 17);
+        for np in [1, 2, 4, 7] {
+            let p = Partition::new(&g, np, PartitionKind::BfsBlock);
+            let sizes = p.sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 100, "np={np}");
+            assert!((0..100).all(|v| (p.part(v) as usize) < np));
+        }
+    }
+
+    #[test]
+    fn split_edges_partitions_edge_set() {
+        let g = gnm(50, 120, 3);
+        let p = Partition::new(&g, 4, PartitionKind::Block);
+        let (internal, border) = p.split_edges(&g);
+        let internal_count: usize = internal.iter().map(Vec::len).sum();
+        assert_eq!(internal_count + border.all.len(), g.m());
+        for (pi, edges) in internal.iter().enumerate() {
+            for &(u, v) in edges {
+                assert_eq!(p.part(u), pi as u32);
+                assert_eq!(p.part(v), pi as u32);
+            }
+        }
+        for &(u, v) in &border.all {
+            assert!(p.is_border(u, v));
+        }
+        // every border edge appears in exactly the two incident parts
+        for &(u, v) in &border.all {
+            let hits = border
+                .per_part
+                .iter()
+                .filter(|es| es.contains(&(u, v)))
+                .count();
+            assert_eq!(hits, 2);
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_border() {
+        let g = gnm(30, 60, 5);
+        let p = Partition::new(&g, 1, PartitionKind::Block);
+        assert_eq!(p.border_count(&g), 0);
+    }
+
+    #[test]
+    fn more_parts_no_fewer_borders_for_block() {
+        let g = gnm(200, 600, 9);
+        let b2 = Partition::new(&g, 2, PartitionKind::Block).border_count(&g);
+        let b16 = Partition::new(&g, 16, PartitionKind::Block).border_count(&g);
+        assert!(b16 >= b2, "border {b2} -> {b16}");
+    }
+
+    #[test]
+    fn round_robin_has_more_borders_than_bfs() {
+        let g = gnm(300, 900, 21);
+        let rr = Partition::new(&g, 8, PartitionKind::RoundRobin).border_count(&g);
+        let bfs = Partition::new(&g, 8, PartitionKind::BfsBlock).border_count(&g);
+        assert!(
+            rr >= bfs,
+            "round-robin should cut at least as many edges ({rr} vs {bfs})"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Gene annotations and the edge-enrichment cluster scorer (AEES).
+
+use crate::dag::{GoDag, TermId};
+use casbn_graph::{Edge, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A GO-like DAG plus per-gene term annotations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnnotatedOntology {
+    /// The term DAG.
+    pub dag: GoDag,
+    /// Terms annotated to each gene (possibly empty).
+    pub annotations: Vec<Vec<TermId>>,
+}
+
+impl AnnotatedOntology {
+    /// Build synthetic annotations wired to planted modules.
+    ///
+    /// Every module is assigned a distinct term at depth
+    /// `module_term_depth`; its genes are annotated with that term or one
+    /// of its children (so module edges have a deep DCP and near-zero
+    /// breadth ⇒ high enrichment). Every gene additionally receives
+    /// `noise_terms` random terms; genes outside any module carry only
+    /// random terms (so coincidental edges have shallow DCPs and large
+    /// breadth ⇒ scores ≤ 0, the paper's "noise" signature).
+    pub fn synthetic(
+        n_genes: usize,
+        modules: &[Vec<VertexId>],
+        dag: GoDag,
+        module_term_depth: u32,
+        noise_terms: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut annotations: Vec<Vec<TermId>> = vec![Vec::new(); n_genes];
+        let deep_terms = dag.terms_at_depth(module_term_depth.min(dag.max_depth()));
+        assert!(
+            !deep_terms.is_empty(),
+            "no terms at depth {module_term_depth}"
+        );
+        // children of each candidate term, for within-module variation
+        let mut children: BTreeMap<TermId, Vec<TermId>> = BTreeMap::new();
+        for t in 0..dag.n_terms() as TermId {
+            for &p in dag.parents(t) {
+                children.entry(p).or_default().push(t);
+            }
+        }
+        for (mi, module) in modules.iter().enumerate() {
+            let term = deep_terms[mi % deep_terms.len()];
+            let kids = children.get(&term).cloned().unwrap_or_default();
+            for &gene in module {
+                // 70%: the module term itself; 30%: one of its children —
+                // mimics annotation granularity differences between genes
+                let t = if !kids.is_empty() && rng.gen_bool(0.3) {
+                    kids[rng.gen_range(0..kids.len())]
+                } else {
+                    term
+                };
+                annotations[gene as usize].push(t);
+            }
+        }
+        let all_terms = dag.n_terms() as TermId;
+        for ann in annotations.iter_mut() {
+            for _ in 0..noise_terms {
+                ann.push(rng.gen_range(1..all_terms));
+            }
+            ann.sort_unstable();
+            ann.dedup();
+        }
+        AnnotatedOntology { dag, annotations }
+    }
+
+    /// Terms of gene `g`.
+    pub fn terms_of(&self, g: VertexId) -> &[TermId] {
+        &self.annotations[g as usize]
+    }
+}
+
+/// Per-cluster annotation produced by the scorer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterAnnotation {
+    /// Average edge enrichment score over the cluster's edges.
+    pub aees: f64,
+    /// Most common DCP term among the cluster's edges (the cluster's
+    /// functional annotation), if any edge could be scored.
+    pub dominant_term: Option<TermId>,
+    /// Depth of the dominant term.
+    pub dominant_depth: u32,
+    /// Depth of the deepest DCP seen on any edge ("Max Score" of Fig. 11).
+    pub max_depth: u32,
+    /// Number of edges that could be scored (both endpoints annotated).
+    pub scored_edges: usize,
+}
+
+/// Edge-enrichment scorer. Wraps an [`AnnotatedOntology`] and memoises
+/// per-edge results.
+#[derive(Clone, Debug)]
+pub struct EnrichmentScorer<'a> {
+    onto: &'a AnnotatedOntology,
+}
+
+impl<'a> EnrichmentScorer<'a> {
+    /// Create a scorer over `onto`.
+    pub fn new(onto: &'a AnnotatedOntology) -> Self {
+        EnrichmentScorer { onto }
+    }
+
+    /// Score one edge: the best `depth(DCP) − breadth` over all pairs of
+    /// the endpoint genes' terms, with the witnessing DCP. `None` if
+    /// either endpoint has no annotation.
+    pub fn edge_score(&self, u: VertexId, v: VertexId) -> Option<(TermId, i64)> {
+        let tu = self.onto.terms_of(u);
+        let tv = self.onto.terms_of(v);
+        if tu.is_empty() || tv.is_empty() {
+            return None;
+        }
+        let mut best: Option<(TermId, i64)> = None;
+        for &a in tu {
+            for &b in tv {
+                let (dcp, depth, breadth) = self.onto.dag.deepest_common_parent(a, b);
+                let s = depth as i64 - breadth as i64;
+                best = match best {
+                    None => Some((dcp, s)),
+                    Some((bt, bs)) if s > bs || (s == bs && dcp < bt) => Some((dcp, s)),
+                    keep => keep,
+                };
+            }
+        }
+        best
+    }
+
+    /// Annotate a cluster given its edge list: AEES = mean edge score
+    /// (unscored edges contribute 0, mirroring "no common function
+    /// found"), dominant term = most frequent DCP.
+    pub fn annotate_cluster(&self, edges: &[Edge]) -> ClusterAnnotation {
+        let mut total = 0.0f64;
+        let mut dcp_count: BTreeMap<TermId, usize> = BTreeMap::new();
+        let mut scored = 0usize;
+        let mut max_depth = 0u32;
+        for &(u, v) in edges {
+            if let Some((dcp, s)) = self.edge_score(u, v) {
+                total += s as f64;
+                scored += 1;
+                *dcp_count.entry(dcp).or_default() += 1;
+                max_depth = max_depth.max(self.onto.dag.depth(dcp));
+            }
+        }
+        let aees = if edges.is_empty() {
+            0.0
+        } else {
+            total / edges.len() as f64
+        };
+        let dominant_term = dcp_count
+            .iter()
+            .max_by_key(|&(t, c)| (*c, std::cmp::Reverse(*t)))
+            .map(|(&t, _)| t);
+        ClusterAnnotation {
+            aees,
+            dominant_term,
+            dominant_depth: dominant_term.map(|t| self.onto.dag.depth(t)).unwrap_or(0),
+            max_depth,
+            scored_edges: scored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AnnotatedOntology, Vec<Vec<VertexId>>) {
+        let dag = GoDag::generate(7, 3, 0.25, 5);
+        let modules: Vec<Vec<VertexId>> = vec![
+            (0..8).collect(),
+            (8..16).collect(),
+            (16..24).collect(),
+        ];
+        let onto = AnnotatedOntology::synthetic(60, &modules, dag, 6, 1, 11);
+        (onto, modules)
+    }
+
+    #[test]
+    fn every_gene_gets_annotations() {
+        let (onto, _) = setup();
+        for g in 0..60 {
+            assert!(
+                !onto.terms_of(g).is_empty(),
+                "gene {g} has no terms (noise_terms=1 guarantees ≥1)"
+            );
+        }
+    }
+
+    #[test]
+    fn module_edges_score_high() {
+        let (onto, modules) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        for module in &modules {
+            let (_, s) = scorer.edge_score(module[0], module[1]).unwrap();
+            assert!(s >= 4, "intra-module edge scored {s}");
+        }
+    }
+
+    #[test]
+    fn cross_module_edges_score_lower_than_intra() {
+        let (onto, modules) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        let (_, intra) = scorer.edge_score(modules[0][0], modules[0][1]).unwrap();
+        let (_, cross) = scorer.edge_score(modules[0][0], modules[1][0]).unwrap();
+        assert!(
+            intra > cross,
+            "intra {intra} should beat cross-module {cross}"
+        );
+    }
+
+    #[test]
+    fn cluster_annotation_dominant_term_is_module_term() {
+        let (onto, modules) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        // a clique over module 0
+        let m = &modules[0];
+        let mut edges = Vec::new();
+        for i in 0..m.len() {
+            for j in (i + 1)..m.len() {
+                edges.push((m[i], m[j]));
+            }
+        }
+        let ann = scorer.annotate_cluster(&edges);
+        assert!(ann.aees >= 3.0, "module cluster AEES {}", ann.aees);
+        assert!(ann.dominant_term.is_some());
+        assert!(
+            ann.dominant_depth >= 5,
+            "dominant depth {} too shallow",
+            ann.dominant_depth
+        );
+        assert_eq!(ann.scored_edges, edges.len());
+    }
+
+    #[test]
+    fn random_cluster_scores_low() {
+        let (onto, _) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        // genes 30..40 are background: random annotations only
+        let edges: Vec<Edge> = (30..39).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        let ann = scorer.annotate_cluster(&edges);
+        assert!(
+            ann.aees < 3.0,
+            "background cluster AEES {} should be low",
+            ann.aees
+        );
+    }
+
+    #[test]
+    fn empty_cluster_is_zero() {
+        let (onto, _) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        let ann = scorer.annotate_cluster(&[]);
+        assert_eq!(ann.aees, 0.0);
+        assert!(ann.dominant_term.is_none());
+    }
+
+    #[test]
+    fn unannotated_genes_yield_none() {
+        let dag = GoDag::generate(4, 3, 0.2, 1);
+        let onto = AnnotatedOntology {
+            dag,
+            annotations: vec![vec![], vec![1]],
+        };
+        let scorer = EnrichmentScorer::new(&onto);
+        assert!(scorer.edge_score(0, 1).is_none());
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let (a, _) = setup();
+        let (b, _) = setup();
+        assert_eq!(a.annotations, b.annotations);
+    }
+
+    #[test]
+    fn filtering_noise_edges_raises_aees() {
+        // the Fig. 2 / Fig. 9 mechanism: removing noisy edges from a
+        // cluster raises its average score
+        let (onto, modules) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        let m = &modules[0];
+        let mut edges = Vec::new();
+        for i in 0..m.len() {
+            for j in (i + 1)..m.len() {
+                edges.push((m[i], m[j]));
+            }
+        }
+        let clean = scorer.annotate_cluster(&edges).aees;
+        // contaminate with edges to background genes
+        let mut noisy = edges.clone();
+        for (k, &g) in m.iter().enumerate() {
+            noisy.push((g, 40 + k as VertexId));
+        }
+        let dirty = scorer.annotate_cluster(&noisy).aees;
+        assert!(
+            clean > dirty,
+            "clean {clean:.2} should exceed noisy {dirty:.2}"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Classical node-based GO term enrichment — the orthogonal validation
+//! channel the paper references ("clusters have been shown to have common
+//! functions according to Gene Ontology enrichment", §II, citing Dempsey
+//! et al.'s BIBM'11 work).
+//!
+//! For a cluster of `k` genes of which `x` carry term `t`, with `K` of
+//! the `N` background genes carrying `t`, the enrichment p-value is the
+//! hypergeometric tail `P(X ≥ x)`. This complements the edge-enrichment
+//! (AEES) scorer: AEES scores *relationships*, node enrichment scores
+//! *memberships*, and the two must agree on the planted modules — which
+//! the cross-validation test at the bottom asserts.
+
+use crate::dag::TermId;
+use crate::enrichment::AnnotatedOntology;
+use casbn_graph::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One enriched term in a cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnrichedTerm {
+    /// The GO-like term.
+    pub term: TermId,
+    /// Cluster genes annotated with the term.
+    pub in_cluster: usize,
+    /// Background genes annotated with the term.
+    pub in_background: usize,
+    /// Hypergeometric tail p-value `P(X ≥ in_cluster)`.
+    pub p_value: f64,
+}
+
+/// Hypergeometric tail `P(X ≥ x)` for `x` successes in `k` draws from a
+/// population of `n` containing `big_k` successes. Exact summation in
+/// log-space; fine for the population sizes here (≤ ~30k genes).
+pub fn hypergeometric_tail(x: usize, k: usize, big_k: usize, n: usize) -> f64 {
+    if x == 0 {
+        return 1.0;
+    }
+    if x > k.min(big_k) {
+        return 0.0;
+    }
+    let ln_choose = |n: usize, r: usize| -> f64 {
+        if r > n {
+            return f64::NEG_INFINITY;
+        }
+        ln_factorial(n) - ln_factorial(r) - ln_factorial(n - r)
+    };
+    let denom = ln_choose(n, k);
+    let mut p = 0.0f64;
+    for i in x..=k.min(big_k) {
+        if k - i > n - big_k {
+            continue;
+        }
+        let ln_p = ln_choose(big_k, i) + ln_choose(n - big_k, k - i) - denom;
+        p += ln_p.exp();
+    }
+    p.min(1.0)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    // Stirling with correction for small n via direct product
+    if n < 32 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let x = n as f64;
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+    }
+}
+
+/// Enriched terms of a cluster, most significant first. Terms are tested
+/// if at least two cluster genes carry them; p-values are Bonferroni
+///-corrected by the number of tested terms.
+pub fn enrich_cluster(
+    onto: &AnnotatedOntology,
+    cluster: &[VertexId],
+    max_p: f64,
+) -> Vec<EnrichedTerm> {
+    let n = onto.annotations.len();
+    // background term frequencies
+    let mut bg: BTreeMap<TermId, usize> = BTreeMap::new();
+    for ann in &onto.annotations {
+        for &t in ann {
+            *bg.entry(t).or_default() += 1;
+        }
+    }
+    let mut inside: BTreeMap<TermId, usize> = BTreeMap::new();
+    for &g in cluster {
+        for &t in onto.terms_of(g) {
+            *inside.entry(t).or_default() += 1;
+        }
+    }
+    let tested: Vec<(&TermId, &usize)> = inside.iter().filter(|&(_, &c)| c >= 2).collect();
+    let correction = tested.len().max(1) as f64;
+    let mut out: Vec<EnrichedTerm> = tested
+        .into_iter()
+        .filter_map(|(&t, &x)| {
+            let big_k = bg[&t];
+            let p = (hypergeometric_tail(x, cluster.len(), big_k, n) * correction).min(1.0);
+            (p <= max_p).then_some(EnrichedTerm {
+                term: t,
+                in_cluster: x,
+                in_background: big_k,
+                p_value: p,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).unwrap().then(a.term.cmp(&b.term)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::GoDag;
+    use crate::enrichment::EnrichmentScorer;
+
+    #[test]
+    fn tail_sanity() {
+        // drawing 5 from 10 with 5 successes: P(X >= 5) = 1/C(10,5)
+        let p = hypergeometric_tail(5, 5, 5, 10);
+        assert!((p - 1.0 / 252.0).abs() < 1e-12);
+        assert_eq!(hypergeometric_tail(0, 5, 5, 10), 1.0);
+        assert_eq!(hypergeometric_tail(6, 5, 5, 10), 0.0);
+    }
+
+    #[test]
+    fn tail_monotone_in_x() {
+        let ps: Vec<f64> = (1..=5).map(|x| hypergeometric_tail(x, 10, 20, 100)).collect();
+        for w in ps.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let direct: f64 = (2..=40).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(40) - direct).abs() < 1e-6);
+    }
+
+    fn setup() -> (AnnotatedOntology, Vec<Vec<VertexId>>) {
+        let dag = GoDag::generate(7, 3, 0.25, 5);
+        let modules: Vec<Vec<VertexId>> = vec![(0..10).collect(), (10..20).collect()];
+        let onto = AnnotatedOntology::synthetic(200, &modules, dag, 5, 1, 11);
+        (onto, modules)
+    }
+
+    #[test]
+    fn module_clusters_are_enriched() {
+        let (onto, modules) = setup();
+        let hits = enrich_cluster(&onto, &modules[0], 0.01);
+        assert!(!hits.is_empty(), "module cluster must show enrichment");
+        assert!(hits[0].p_value < 1e-4, "top p {}", hits[0].p_value);
+        assert!(hits[0].in_cluster >= 5);
+    }
+
+    #[test]
+    fn random_gene_sets_are_not_enriched() {
+        let (onto, _) = setup();
+        // background genes spread across the id space
+        let random: Vec<VertexId> = (100..110).collect();
+        let hits = enrich_cluster(&onto, &random, 0.01);
+        assert!(
+            hits.len() <= 1,
+            "random set should show ~no enrichment, got {}",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn node_and_edge_enrichment_agree_on_modules() {
+        // orthogonal validation: a cluster that node-enrichment flags must
+        // also score high AEES, and vice versa on the planted modules
+        let (onto, modules) = setup();
+        let scorer = EnrichmentScorer::new(&onto);
+        for m in &modules {
+            let mut edges = Vec::new();
+            for i in 0..m.len() {
+                for j in (i + 1)..m.len() {
+                    edges.push((m[i], m[j]));
+                }
+            }
+            let aees = scorer.annotate_cluster(&edges).aees;
+            let node_hits = enrich_cluster(&onto, m, 0.01);
+            assert!(
+                (aees >= 3.0) == !node_hits.is_empty(),
+                "channels disagree: AEES {aees:.2}, node hits {}",
+                node_hits.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's motivating workload: build gene-correlation networks from
+//! (synthetic) mouse-brain microarray data — the YNG/MID pair of GSE5078
+//! — filter them with the chordal sampler under all four vertex
+//! orderings, and score every cluster's biological relevance by GO edge
+//! enrichment (AEES). Reproduces the Figure 4 analysis at example scale.
+//!
+//! ```text
+//! cargo run --release --example aging_brain [-- --full]
+//! ```
+
+use casbn::ontology::{AnnotatedOntology, EnrichmentScorer, GoDag};
+use casbn::prelude::*;
+use casbn::sampling::filter_with_ordering;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let build = |preset: DatasetPreset| {
+        if full {
+            preset.build()
+        } else {
+            preset.build_scaled(0.25)
+        }
+    };
+
+    for preset in [DatasetPreset::Yng, DatasetPreset::Mid] {
+        let ds = build(preset);
+        println!(
+            "=== {} === ({} genes, {} samples, {} correlation edges at ρ≥0.95)",
+            ds.name,
+            ds.network.n(),
+            ds.samples,
+            ds.network.m()
+        );
+
+        // synthetic GO annotations wired to the planted modules
+        let dag = GoDag::generate(8, 4, 0.25, preset.seed() ^ 0x60);
+        let onto = AnnotatedOntology::synthetic(
+            ds.network.n(),
+            &ds.modules,
+            dag,
+            6, // module terms live at depth 6
+            2, // plus random noise terms per gene
+            preset.seed() ^ 0xA11,
+        );
+        let scorer = EnrichmentScorer::new(&onto);
+        let params = McodeParams::default();
+
+        // original network clusters
+        let orig = mcode_cluster(&ds.network, &params);
+        let orig_relevant = orig
+            .iter()
+            .filter(|c| scorer.annotate_cluster(&c.edges).aees >= 3.0)
+            .count();
+        println!(
+            "ORIG : {:>3} clusters, {:>3} biologically relevant (AEES ≥ 3)",
+            orig.len(),
+            orig_relevant
+        );
+
+        // chordal filter under each vertex ordering
+        let filter = SequentialChordalFilter::new();
+        for kind in OrderingKind::paper_set() {
+            let out = filter_with_ordering(&ds.network, kind, &filter, 0);
+            let clusters = mcode_cluster(&out.graph, &params);
+            let aees: Vec<f64> = clusters
+                .iter()
+                .map(|c| scorer.annotate_cluster(&c.edges).aees)
+                .collect();
+            let relevant = aees.iter().filter(|&&a| a >= 3.0).count();
+            let best = aees.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{:>5}: {:>3} clusters, {:>3} relevant, best AEES {:.2}, kept {} of {} edges",
+                kind.label(),
+                clusters.len(),
+                relevant,
+                best,
+                out.graph.m(),
+                ds.network.m()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Interpretation (paper H0b): the four orderings perturb the chordal \
+         subgraph slightly,\nbut the biologically relevant clusters persist \
+         across all of them."
+    );
+}

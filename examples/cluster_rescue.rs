@@ -1,0 +1,98 @@
+//! The Figure 9 case study, end to end: a cluster whose average edge
+//! enrichment score (AEES) is dragged down by noisy members in the
+//! original network, and whose true function "stands out" after chordal
+//! filtering removes those members — the paper's apoptosis-cluster
+//! example (UNT network, High-Degree ordering, AEES 2.33 → 4.17).
+//!
+//! ```text
+//! cargo run --release --example cluster_rescue
+//! ```
+
+use casbn::analysis::overlap_table;
+use casbn::ontology::{AnnotatedOntology, EnrichmentScorer, GoDag};
+use casbn::prelude::*;
+use casbn::sampling::filter_with_ordering;
+
+fn main() {
+    let preset = DatasetPreset::Unt;
+    let ds = preset.build_scaled(0.2);
+    let dag = GoDag::generate(8, 4, 0.25, preset.seed() ^ 0x60);
+    let onto = AnnotatedOntology::synthetic(
+        ds.network.n(),
+        &ds.modules,
+        dag,
+        6,
+        2,
+        preset.seed() ^ 0xA11,
+    );
+    let scorer = EnrichmentScorer::new(&onto);
+    let params = McodeParams::default();
+
+    let orig = mcode_cluster(&ds.network, &params);
+    let out = filter_with_ordering(
+        &ds.network,
+        OrderingKind::HighDegree,
+        &SequentialChordalFilter::new(),
+        0,
+    );
+    let filt = mcode_cluster(&out.graph, &params);
+
+    // every (filtered, original) best pair, ranked by AEES improvement
+    let table = overlap_table(&orig, &filt);
+    let mut rescues: Vec<_> = table
+        .iter()
+        .filter_map(|t| {
+            let oi = t.best_original?;
+            (t.node_overlap >= 0.3).then(|| {
+                let o = &orig[oi];
+                let f = &filt[t.filtered_idx];
+                let oa = scorer.annotate_cluster(&o.edges);
+                let fa = scorer.annotate_cluster(&f.edges);
+                (fa.aees - oa.aees, t, oi, oa, fa)
+            })
+        })
+        .collect();
+    rescues.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    println!("top cluster rescues (UNT-style network, HD ordering):");
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "#", "orig-size", "filt-size", "AEES", "AEES'", "gain", "node-ovl", "term-d"
+    );
+    for (rank, (gain, t, oi, oa, fa)) in rescues.iter().take(5).enumerate() {
+        let o = &orig[*oi];
+        let f = &filt[t.filtered_idx];
+        println!(
+            "{:>4} {:>10} {:>10} {:>8.2} {:>8.2} {:>9.2} {:>8.0}% {:>9}",
+            rank + 1,
+            o.size(),
+            f.size(),
+            oa.aees,
+            fa.aees,
+            gain,
+            100.0 * t.node_overlap,
+            fa.dominant_depth
+        );
+    }
+    if let Some((gain, t, oi, oa, fa)) = rescues.first() {
+        let o = &orig[*oi];
+        let f = &filt[t.filtered_idx];
+        println!();
+        println!(
+            "best rescue: the original {}-gene cluster scored AEES {:.2}; after the \
+             chordal\nfilter removed its noisy members, the remaining {}-gene cluster \
+             scores {:.2} ({:+.2}),\nwith its dominant GO term at depth {} — the \
+             cluster's true function now stands out.",
+            o.size(),
+            oa.aees,
+            f.size(),
+            fa.aees,
+            gain,
+            fa.dominant_depth
+        );
+        println!(
+            "(paper: cluster 18 of UNT, AEES 2.33, became UNT-HD cluster #10 at 4.17, \
+             revealed as apoptosis regulation)"
+        );
+    }
+}

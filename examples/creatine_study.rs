@@ -1,0 +1,99 @@
+//! The GSE5140-style workload (UNT/CRE): whole-transcriptome networks,
+//! where filtering both *preserves* known clusters and *uncovers* new ones
+//! hidden by noise — the paper's "lost and found" analysis (Fig. 5) and
+//! the Fig. 9 cluster-rescue case study.
+//!
+//! ```text
+//! cargo run --release --example creatine_study [-- --full]
+//! ```
+
+use casbn::analysis::{lost_and_found, overlap_table};
+use casbn::ontology::{AnnotatedOntology, EnrichmentScorer, GoDag};
+use casbn::prelude::*;
+use casbn::sampling::filter_with_ordering;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    for preset in [DatasetPreset::Unt, DatasetPreset::Cre] {
+        let ds = if full {
+            preset.build()
+        } else {
+            preset.build_scaled(0.15)
+        };
+        println!(
+            "=== {} === ({} genes, {} edges)",
+            ds.name,
+            ds.network.n(),
+            ds.network.m()
+        );
+
+        let dag = GoDag::generate(8, 4, 0.25, preset.seed() ^ 0x60);
+        let onto = AnnotatedOntology::synthetic(
+            ds.network.n(),
+            &ds.modules,
+            dag,
+            6,
+            2,
+            preset.seed() ^ 0xA11,
+        );
+        let scorer = EnrichmentScorer::new(&onto);
+        let params = McodeParams::default();
+
+        let orig = mcode_cluster(&ds.network, &params);
+        let out = filter_with_ordering(
+            &ds.network,
+            OrderingKind::HighDegree,
+            &SequentialChordalFilter::new(),
+            0,
+        );
+        let filt = mcode_cluster(&out.graph, &params);
+        println!(
+            "clusters: {} original, {} after chordal/HD filtering",
+            orig.len(),
+            filt.len()
+        );
+
+        // lost & found
+        let (lost, found) = lost_and_found(&orig, &filt);
+        println!(
+            "lost clusters (only in original): {}   found clusters (only in filtered): {}",
+            lost.len(),
+            found.len()
+        );
+        for &fi in found.iter().take(3) {
+            let ann = scorer.annotate_cluster(&filt[fi].edges);
+            println!(
+                "  newly found cluster: size {} AEES {:.2} (hidden by noise in the original)",
+                filt[fi].size(),
+                ann.aees
+            );
+        }
+
+        // Fig. 9-style rescue: the filtered cluster with the largest AEES
+        // improvement over its original counterpart
+        let table = overlap_table(&orig, &filt);
+        let rescue = table
+            .iter()
+            .filter(|t| t.best_original.is_some() && t.node_overlap >= 0.3)
+            .map(|t| {
+                let o = &orig[t.best_original.unwrap()];
+                let f = &filt[t.filtered_idx];
+                let oa = scorer.annotate_cluster(&o.edges).aees;
+                let fa = scorer.annotate_cluster(&f.edges).aees;
+                (fa - oa, oa, fa, o.size(), f.size(), t.node_overlap)
+            })
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        if let Some((imp, oa, fa, os, fs, ov)) = rescue {
+            println!(
+                "cluster rescue: AEES {oa:.2} → {fa:.2} ({imp:+.2}) as size {os} → {fs}, \
+                 node overlap {:.0}%",
+                100.0 * ov
+            );
+            println!(
+                "  (paper's Fig. 9 example: 2.33 → 4.17 after filtering revealed an \
+                 apoptosis cluster)"
+            );
+        }
+        println!();
+    }
+}

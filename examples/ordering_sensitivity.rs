@@ -1,0 +1,83 @@
+//! Vertex-ordering sensitivity (paper §III-A and hypothesis H0b): how the
+//! Natural / High-Degree / Low-Degree / RCM orderings perturb the maximal
+//! chordal subgraph, and whether the cluster-level analysis survives.
+//!
+//! ```text
+//! cargo run --release --example ordering_sensitivity
+//! ```
+
+use casbn::analysis::{node_overlap, overlap_table};
+use casbn::graph::ordering::bandwidth;
+use casbn::prelude::*;
+use casbn::sampling::filter_with_ordering;
+
+fn main() {
+    let ds = DatasetPreset::Yng.build_scaled(0.3);
+    let g = &ds.network;
+    println!(
+        "YNG-style network: {} vertices, {} edges, bandwidth {}",
+        g.n(),
+        g.m(),
+        bandwidth(g)
+    );
+
+    let filter = SequentialChordalFilter::new();
+    let params = McodeParams::default();
+    let orig_clusters = mcode_cluster(g, &params);
+    println!("original clusters: {}", orig_clusters.len());
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>14}",
+        "ord", "edges", "removed", "clusters", "avg node-ovl"
+    );
+
+    let mut cluster_sets = Vec::new();
+    for kind in OrderingKind::paper_set() {
+        let out = filter_with_ordering(g, kind, &filter, 0);
+        let clusters = mcode_cluster(&out.graph, &params);
+        let table = overlap_table(&orig_clusters, &clusters);
+        let avg_ovl = if table.is_empty() {
+            0.0
+        } else {
+            table.iter().map(|t| t.node_overlap).sum::<f64>() / table.len() as f64
+        };
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>14.2}",
+            kind.label(),
+            out.graph.m(),
+            g.m() - out.graph.m(),
+            clusters.len(),
+            avg_ovl
+        );
+        cluster_sets.push((kind.label(), clusters));
+    }
+
+    // pairwise agreement between orderings: for each cluster of ordering A,
+    // its best node overlap with any cluster of ordering B
+    println!("\npairwise cluster agreement between orderings (mean best node overlap):");
+    print!("{:>6}", "");
+    for (l, _) in &cluster_sets {
+        print!("{l:>7}");
+    }
+    println!();
+    for (la, ca) in &cluster_sets {
+        print!("{la:>6}");
+        for (_, cb) in &cluster_sets {
+            let mut total = 0.0;
+            for a in ca {
+                let best = cb
+                    .iter()
+                    .map(|b| node_overlap(a, b))
+                    .fold(0.0f64, f64::max);
+                total += best;
+            }
+            let mean = if ca.is_empty() { 0.0 } else { total / ca.len() as f64 };
+            print!("{mean:>7.2}");
+        }
+        println!();
+    }
+    println!(
+        "\nH0b: orderings shift which edges the chordal filter keeps, but the \
+         clusters they\nproduce agree heavily with each other and with the \
+         original network's clusters."
+    );
+}

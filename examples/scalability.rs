@@ -1,0 +1,48 @@
+//! Scalability sweep (paper Fig. 10): execution time of the three
+//! parallel samplers on 1–64 simulated processors, on a small and a large
+//! network. Uses the distributed-memory cost model, so the 64-processor
+//! points are meaningful on any host.
+//!
+//! ```text
+//! cargo run --release --example scalability
+//! ```
+
+use casbn::prelude::*;
+
+fn main() {
+    for (label, n, modules, noise) in [
+        ("small (YNG-like)", 5_348usize, 160usize, 2_100usize),
+        ("large (CRE-like)", 27_896, 560, 5_000),
+    ] {
+        let (g, _) = casbn::graph::generators::planted_partition(n, modules, 10, 0.55, noise, 7);
+        println!(
+            "=== {label}: {} vertices, {} edges ===",
+            g.n(),
+            g.m()
+        );
+        println!(
+            "{:>6} {:>16} {:>16} {:>16} {:>10}",
+            "P", "chordal-comm(s)", "chordal-nocomm", "random-walk", "messages"
+        );
+        for p in [1usize, 2, 4, 8, 16, 32, 64] {
+            let comm = ParallelChordalCommFilter::new(p, PartitionKind::Block).filter(&g, 0);
+            let nocomm = ParallelChordalNoCommFilter::new(p, PartitionKind::Block).filter(&g, 0);
+            let rw = ParallelRandomWalkFilter::new(p, PartitionKind::Block).filter(&g, 0);
+            println!(
+                "{:>6} {:>16.5} {:>16.5} {:>16.5} {:>10}",
+                p,
+                comm.stats.sim_makespan,
+                nocomm.stats.sim_makespan,
+                rw.stats.sim_makespan,
+                comm.stats.messages
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 10): random walk fastest and flat; \
+         chordal without\ncommunication scales cleanly; chordal WITH \
+         communication degrades as border-edge\nexchanges multiply — \
+         sharply on the small network at 32–64 processors."
+    );
+}

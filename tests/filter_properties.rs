@@ -1,0 +1,95 @@
+//! Property-based tests over the whole filter family: invariants that
+//! must hold for *any* input graph and any filter in the workspace.
+
+use casbn::prelude::*;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1) / 2).min(120);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |pairs| Graph::from_edges(n, &pairs))
+    })
+}
+
+fn all_filters(p: usize) -> Vec<Box<dyn Filter>> {
+    vec![
+        Box::new(SequentialChordalFilter::new()),
+        Box::new(ParallelChordalNoCommFilter::new(p, PartitionKind::Block)),
+        Box::new(ParallelChordalNoCommFilter::new(p, PartitionKind::BfsBlock)),
+        Box::new(ParallelChordalCommFilter::new(p, PartitionKind::Block)),
+        Box::new(ParallelRandomWalkFilter::new(p, PartitionKind::Block)),
+        Box::new(ForestFireFilter::default()),
+        Box::new(RandomNodeFilter::default()),
+        Box::new(RandomEdgeFilter::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_filter_returns_a_subgraph(g in arb_graph(), seed in 0u64..100) {
+        for f in all_filters(3) {
+            let out = f.filter(&g, seed);
+            prop_assert_eq!(out.graph.n(), g.n(), "{} changed vertex count", f.name());
+            for (u, v) in out.graph.edges() {
+                prop_assert!(g.has_edge(u, v), "{} invented edge ({u},{v})", f.name());
+            }
+            prop_assert_eq!(out.stats.original_edges, g.m());
+            prop_assert_eq!(out.stats.retained_edges, out.graph.m());
+            prop_assert!(out.retention() >= 0.0 && out.retention() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn every_filter_is_deterministic(g in arb_graph(), seed in 0u64..100) {
+        for f in all_filters(2) {
+            let a = f.filter(&g, seed);
+            let b = f.filter(&g, seed);
+            prop_assert!(a.graph.same_edges(&b.graph), "{} nondeterministic", f.name());
+        }
+    }
+
+    #[test]
+    fn chordal_filters_single_rank_output_is_chordal(g in arb_graph()) {
+        let seq = SequentialChordalFilter::new().filter(&g, 0);
+        prop_assert!(casbn::chordal::is_chordal(&seq.graph));
+        let p1 = ParallelChordalNoCommFilter::new(1, PartitionKind::Block).filter(&g, 0);
+        prop_assert!(casbn::chordal::is_chordal(&p1.graph));
+        prop_assert!(seq.graph.same_edges(&p1.graph));
+    }
+
+    #[test]
+    fn duplicate_bound_holds(g in arb_graph(), p in 2usize..6) {
+        let out = ParallelChordalNoCommFilter::new(p, PartitionKind::Block).filter(&g, 0);
+        prop_assert!(out.stats.duplicate_border_edges <= out.stats.border_edges);
+    }
+
+    #[test]
+    fn cycle_break_never_disconnects(g in arb_graph()) {
+        let out = ParallelChordalNoCommFilter::new(3, PartitionKind::Block).filter(&g, 0);
+        let part = Partition::new(&g, 3, PartitionKind::Block);
+        let border: Vec<(u32, u32)> = out
+            .graph
+            .edges()
+            .filter(|&(u, v)| part.is_border(u, v))
+            .collect();
+        let (fixed, report) = casbn::sampling::break_cycles(&out.graph, &border);
+        let (_, before) = casbn::graph::algo::connected_components(&out.graph);
+        let (_, after) = casbn::graph::algo::connected_components(&fixed);
+        prop_assert_eq!(before, after);
+        prop_assert!(report.triangle_free_after <= report.triangle_free_before);
+    }
+
+    #[test]
+    fn ordering_pipeline_preserves_subgraph_property(g in arb_graph(), seed in 0u64..50) {
+        let f = SequentialChordalFilter::new();
+        for kind in OrderingKind::paper_set() {
+            let out = casbn::sampling::filter_with_ordering(&g, kind, &f, seed);
+            for (u, v) in out.graph.edges() {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration test for hypothesis H0b (paper §III-B): vertex orderings
+//! (Natural / High-Degree / Low-Degree / RCM) have minimal impact on the
+//! biologically relevant clusters extracted from chordal-filtered
+//! networks.
+
+use casbn::analysis::node_overlap;
+use casbn::ontology::{AnnotatedOntology, EnrichmentScorer, GoDag};
+use casbn::prelude::*;
+use casbn::sampling::filter_with_ordering;
+
+fn clusters_for_orderings() -> Vec<(String, Vec<Cluster>, usize)> {
+    let preset = DatasetPreset::Yng;
+    let ds = preset.build_scaled(0.25);
+    let filter = SequentialChordalFilter::new();
+    let params = McodeParams::default();
+    OrderingKind::paper_set()
+        .iter()
+        .map(|&kind| {
+            let out = filter_with_ordering(&ds.network, kind, &filter, 0);
+            let clusters = mcode_cluster(&out.graph, &params);
+            (kind.label().to_string(), clusters, out.graph.m())
+        })
+        .collect()
+}
+
+#[test]
+fn orderings_produce_similar_subgraph_sizes() {
+    let results = clusters_for_orderings();
+    let sizes: Vec<usize> = results.iter().map(|(_, _, m)| *m).collect();
+    let lo = *sizes.iter().min().unwrap() as f64;
+    let hi = *sizes.iter().max().unwrap() as f64;
+    assert!(
+        lo / hi > 0.85,
+        "chordal subgraph sizes vary too much across orderings: {sizes:?}"
+    );
+}
+
+#[test]
+fn orderings_produce_similar_cluster_counts() {
+    let results = clusters_for_orderings();
+    let counts: Vec<usize> = results.iter().map(|(_, c, _)| c.len()).collect();
+    let lo = *counts.iter().min().unwrap() as f64;
+    let hi = *counts.iter().max().unwrap() as f64;
+    assert!(hi > 0.0, "no clusters at all");
+    assert!(
+        lo / hi > 0.6,
+        "cluster counts vary too much across orderings: {counts:?}"
+    );
+}
+
+#[test]
+fn clusters_agree_across_orderings() {
+    // for each cluster under ordering A, its best node overlap with some
+    // cluster of ordering B should be high on average
+    let results = clusters_for_orderings();
+    for (la, ca, _) in &results {
+        for (lb, cb, _) in &results {
+            if la == lb || ca.is_empty() {
+                continue;
+            }
+            let mean_best: f64 = ca
+                .iter()
+                .map(|a| cb.iter().map(|b| node_overlap(a, b)).fold(0.0f64, f64::max))
+                .sum::<f64>()
+                / ca.len() as f64;
+            assert!(
+                mean_best > 0.6,
+                "{la} vs {lb}: mean best overlap {mean_best:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relevant_biology_is_ordering_invariant() {
+    let preset = DatasetPreset::Mid;
+    let ds = preset.build_scaled(0.25);
+    let dag = GoDag::generate(8, 4, 0.25, preset.seed() ^ 0x60);
+    let onto = AnnotatedOntology::synthetic(
+        ds.network.n(),
+        &ds.modules,
+        dag,
+        6,
+        2,
+        preset.seed() ^ 0xA11,
+    );
+    let scorer = EnrichmentScorer::new(&onto);
+    let filter = SequentialChordalFilter::new();
+    let params = McodeParams::default();
+
+    let relevant_counts: Vec<usize> = OrderingKind::paper_set()
+        .iter()
+        .map(|&kind| {
+            let out = filter_with_ordering(&ds.network, kind, &filter, 0);
+            mcode_cluster(&out.graph, &params)
+                .iter()
+                .filter(|c| scorer.annotate_cluster(&c.edges).aees >= 3.0)
+                .count()
+        })
+        .collect();
+    let lo = *relevant_counts.iter().min().unwrap() as f64;
+    let hi = *relevant_counts.iter().max().unwrap() as f64;
+    assert!(hi > 0.0, "no relevant clusters under any ordering");
+    assert!(
+        lo / hi > 0.5,
+        "relevant-cluster counts vary too much: {relevant_counts:?}"
+    );
+}

@@ -1,0 +1,134 @@
+//! Integration test for hypothesis H0c (paper §III-B / §IV-C): the
+//! parallel implementation — data distribution and processor count — has
+//! minimal impact on the produced clusters. Specifically, more processors
+//! ⇒ (slightly) fewer retained edges, but the clusters survive.
+
+use casbn::analysis::node_overlap;
+use casbn::prelude::*;
+
+fn dataset() -> casbn::expr::Dataset {
+    DatasetPreset::Cre.build_scaled(0.15)
+}
+
+#[test]
+fn more_processors_fewer_edges_under_block_distribution() {
+    // the paper's claim "by increasing the number of processors, the
+    // resulting filtered network has fewer edges" — true for a
+    // locality-oblivious (block over shuffled ids) distribution, where
+    // ever more edges become border edges and fail the triangle rule
+    let ds = dataset();
+    let run = |p: usize| {
+        ParallelChordalNoCommFilter::new(p, PartitionKind::Block)
+            .filter(&ds.network, 0)
+            .graph
+            .m()
+    };
+    let (m1, m64) = (run(1), run(64));
+    assert!(m64 <= m1, "edge count grew with processors: {m1} -> {m64}");
+}
+
+#[test]
+fn more_processors_same_clusters_under_locality_distribution() {
+    // H0c's cluster-preservation claim (Fig. 11: 64P ≈ 1P) requires a
+    // locality-aware distribution (BFS blocks), which keeps dense modules
+    // within partitions — the regime the paper's MPI partitioning works in
+    let ds = dataset();
+    let params = McodeParams::default();
+    let run = |p: usize| {
+        let out =
+            ParallelChordalNoCommFilter::new(p, PartitionKind::BfsBlock).filter(&ds.network, 0);
+        mcode_cluster(&out.graph, &params)
+    };
+    let c1 = run(1);
+    let c64 = run(64);
+    assert!(!c1.is_empty() && !c64.is_empty());
+    let (lo, hi) = (c1.len().min(c64.len()) as f64, c1.len().max(c64.len()) as f64);
+    assert!(lo / hi > 0.8, "cluster counts diverge: {} vs {}", c1.len(), c64.len());
+    // and structurally: most 64P clusters match a 1P cluster well
+    let mean_best: f64 = c64
+        .iter()
+        .map(|a| c1.iter().map(|b| node_overlap(a, b)).fold(0.0f64, f64::max))
+        .sum::<f64>()
+        / c64.len() as f64;
+    assert!(mean_best > 0.7, "64P clusters diverge from 1P: {mean_best:.2}");
+}
+
+#[test]
+fn locality_aware_distribution_beats_oblivious_at_high_rank_counts() {
+    // ablation behind H0c: at 64 ranks, BFS blocks preserve the cluster
+    // population; blocks over shuffled ids destroy most of it
+    let ds = dataset();
+    let params = McodeParams::default();
+    let clusters = |kind: PartitionKind| {
+        let out = ParallelChordalNoCommFilter::new(64, kind).filter(&ds.network, 0);
+        mcode_cluster(&out.graph, &params).len()
+    };
+    let bfs = clusters(PartitionKind::BfsBlock);
+    let block = clusters(PartitionKind::Block);
+    assert!(
+        bfs > block,
+        "BFS blocks ({bfs}) should beat shuffled blocks ({block}) at 64P"
+    );
+}
+
+#[test]
+fn data_distribution_has_minimal_cluster_impact() {
+    let ds = dataset();
+    let params = McodeParams::default();
+    let mut counts = Vec::new();
+    for kind in [
+        PartitionKind::Block,
+        PartitionKind::RoundRobin,
+        PartitionKind::BfsBlock,
+    ] {
+        let out = ParallelChordalNoCommFilter::new(8, kind).filter(&ds.network, 0);
+        counts.push(mcode_cluster(&out.graph, &params).len());
+    }
+    let lo = *counts.iter().min().unwrap() as f64;
+    let hi = *counts.iter().max().unwrap() as f64;
+    assert!(hi > 0.0);
+    assert!(
+        lo / hi > 0.5,
+        "partition strategy changed cluster counts too much: {counts:?}"
+    );
+}
+
+#[test]
+fn comm_and_nocomm_variants_agree_on_clusters() {
+    let ds = dataset();
+    let params = McodeParams::default();
+    let a = ParallelChordalNoCommFilter::new(8, PartitionKind::Block).filter(&ds.network, 0);
+    let b = ParallelChordalCommFilter::new(8, PartitionKind::Block).filter(&ds.network, 0);
+    let ca = mcode_cluster(&a.graph, &params);
+    let cb = mcode_cluster(&b.graph, &params);
+    assert!(!ca.is_empty() && !cb.is_empty());
+    let (lo, hi) = (ca.len().min(cb.len()) as f64, ca.len().max(cb.len()) as f64);
+    assert!(lo / hi > 0.6, "variants disagree: {} vs {}", ca.len(), cb.len());
+}
+
+#[test]
+fn duplicate_border_edges_within_published_bound() {
+    let ds = dataset();
+    for p in [4usize, 16, 64] {
+        let out = ParallelChordalNoCommFilter::new(p, PartitionKind::Block).filter(&ds.network, 0);
+        assert!(
+            out.stats.duplicate_border_edges <= out.stats.border_edges,
+            "p={p}: duplicates exceed the ≤ b bound"
+        );
+    }
+}
+
+#[test]
+fn nocomm_scales_better_than_comm_on_small_network() {
+    // the Fig. 10 left-panel phenomenon, as a regression test
+    let ds = DatasetPreset::Yng.build_scaled(0.25);
+    let p = 32;
+    let comm = ParallelChordalCommFilter::new(p, PartitionKind::Block).filter(&ds.network, 0);
+    let nocomm = ParallelChordalNoCommFilter::new(p, PartitionKind::Block).filter(&ds.network, 0);
+    assert!(
+        comm.stats.sim_makespan > nocomm.stats.sim_makespan,
+        "with-comm should be slower at {p}P on a small network: {} vs {}",
+        comm.stats.sim_makespan,
+        nocomm.stats.sim_makespan
+    );
+}
