@@ -60,8 +60,11 @@ pub struct Fig3 {
 pub fn fig3(runner: &mut FigureRunner) -> Fig3 {
     let exp = runner.experiment(DatasetPreset::Unt);
     let orig = exp.original_clusters();
-    let (_, filtered) =
-        exp.run_filter(OrderingKind::HighDegree, &SequentialChordalFilter::new(), FIG_SEED);
+    let (_, filtered) = exp.run_filter(
+        OrderingKind::HighDegree,
+        &SequentialChordalFilter::new(),
+        FIG_SEED,
+    );
     let table = overlap_table(&bare(&orig), &bare(&filtered));
     let points: Vec<(f64, f64)> = table
         .iter()
@@ -113,8 +116,7 @@ pub fn fig4(runner: &mut FigureRunner) -> Fig4 {
         let mut columns = vec!["ORIG".to_string()];
         let mut scores = vec![aees_column(&exp.original_clusters())];
         for kind in OrderingKind::paper_set() {
-            let (_, clusters) =
-                exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
+            let (_, clusters) = exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
             columns.push(kind.label().to_string());
             scores.push(aees_column(&clusters));
         }
@@ -174,8 +176,7 @@ pub fn fig5(runner: &mut FigureRunner) -> Fig5 {
         let mut matched = Vec::new();
         let mut found = Vec::new();
         for kind in OrderingKind::paper_set() {
-            let (_, clusters) =
-                exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
+            let (_, clusters) = exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
             let table = overlap_table(&orig_bare, &bare(&clusters));
             for t in &table {
                 let point = OverlapPoint {
@@ -221,8 +222,7 @@ pub fn fig67(runner: &mut FigureRunner) -> Fig67 {
         let orig_bare = bare(&exp.original_clusters());
         let mut pts = Vec::new();
         for kind in OrderingKind::paper_set() {
-            let (_, clusters) =
-                exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
+            let (_, clusters) = exp.run_filter(kind, &SequentialChordalFilter::new(), FIG_SEED);
             for t in overlap_table(&orig_bare, &bare(&clusters)) {
                 if t.best_original.is_none() {
                     continue; // lost/found excluded from Figs. 6–7
@@ -306,8 +306,11 @@ pub struct Fig9 {
 pub fn fig9(runner: &mut FigureRunner) -> Option<Fig9> {
     let exp = runner.experiment(DatasetPreset::Unt);
     let orig = exp.original_clusters();
-    let (_, filtered) =
-        exp.run_filter(OrderingKind::HighDegree, &SequentialChordalFilter::new(), FIG_SEED);
+    let (_, filtered) = exp.run_filter(
+        OrderingKind::HighDegree,
+        &SequentialChordalFilter::new(),
+        FIG_SEED,
+    );
     let table = overlap_table(&bare(&orig), &bare(&filtered));
     table
         .iter()

@@ -142,7 +142,10 @@ mod tests {
             .iter()
             .map(|c| c.annotation.aees)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_aees >= 3.0, "max AEES {max_aees:.2} below relevance cut");
+        assert!(
+            max_aees >= 3.0,
+            "max AEES {max_aees:.2} below relevance cut"
+        );
     }
 
     #[test]

@@ -59,7 +59,12 @@ pub fn render_fig5(f: &Fig5) -> String {
             net.found.len()
         )
         .unwrap();
-        writeln!(s, "{:>5} {:>8} {:>8} {:>8}", "ord", "node%", "edge%", "AEES").unwrap();
+        writeln!(
+            s,
+            "{:>5} {:>8} {:>8} {:>8}",
+            "ord", "node%", "edge%", "AEES"
+        )
+        .unwrap();
         for p in &net.matched {
             writeln!(
                 s,
@@ -208,7 +213,12 @@ pub fn render_fig11(f: &Fig11) -> String {
         }
     }
     writeln!(s, "-- top clusters (AEES > 3.0) --").unwrap();
-    writeln!(s, "{:>6} {:>6} {:>10} {:>10}", "var", "size", "avg-depth", "max-score").unwrap();
+    writeln!(
+        s,
+        "{:>6} {:>6} {:>10} {:>10}",
+        "var", "size", "avg-depth", "max-score"
+    )
+    .unwrap();
     for t in &f.top {
         writeln!(
             s,
@@ -231,10 +241,7 @@ pub fn render_text_stats(t: &TextStats) -> String {
     )
     .unwrap();
     for (name, &(v, e)) in &t.network_sizes {
-        let ch = t.chordal_sizes[name]
-            .values()
-            .copied()
-            .sum::<usize>() as f64
+        let ch = t.chordal_sizes[name].values().copied().sum::<usize>() as f64
             / t.chordal_sizes[name].len().max(1) as f64;
         writeln!(
             s,
@@ -284,12 +291,10 @@ mod tests {
         let f = Fig10 {
             networks: [(
                 "YNG".to_string(),
-                vec![
-                    ScalabilitySeries {
-                        algorithm: "chordal-comm".into(),
-                        points: vec![(1, 0.5, 1.0, 0), (2, 0.3, 0.8, 2)],
-                    },
-                ],
+                vec![ScalabilitySeries {
+                    algorithm: "chordal-comm".into(),
+                    points: vec![(1, 0.5, 1.0, 0), (2, 0.3, 0.8, 2)],
+                }],
             )]
             .into_iter()
             .collect(),

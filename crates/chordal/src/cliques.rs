@@ -164,6 +164,9 @@ mod tests {
         let (g, _) = planted_partition(200, 4, 10, 0.7, 120, 9);
         let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
         let cs = maximal_cliques(&r.graph);
-        assert!(cs.len() <= r.graph.n(), "chordal graphs have ≤ n maximal cliques");
+        assert!(
+            cs.len() <= r.graph.n(),
+            "chordal graphs have ≤ n maximal cliques"
+        );
     }
 }

@@ -94,7 +94,7 @@ mod tests {
     fn order_is_permutation() {
         let g = gnm(60, 150, 3);
         let order = lexbfs_order(&g);
-        let mut seen = vec![false; 60];
+        let mut seen = [false; 60];
         for v in order {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;

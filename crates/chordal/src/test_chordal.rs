@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn disconnected_chordality() {
         // triangle + C4, disjoint: not chordal because of the C4
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)],
-        );
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)]);
         assert!(!is_chordal(&g));
         // triangle + path: chordal
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);

@@ -1,8 +1,7 @@
 //! Property-based tests for the chordal machinery.
 
 use casbn_chordal::{
-    check_peo, is_chordal, maximal_chordal_subgraph, repair_maximal, ChordalConfig,
-    SelectionRule,
+    check_peo, is_chordal, maximal_chordal_subgraph, repair_maximal, ChordalConfig, SelectionRule,
 };
 use casbn_graph::{Graph, VertexId};
 use proptest::prelude::*;

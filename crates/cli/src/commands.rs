@@ -11,7 +11,9 @@ use casbn_graph::{Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, McodeParams};
 use std::fs::File;
 
-/// Help text.
+/// Help text. Kept in sync with the flags each subcommand actually parses;
+/// `cli_help` tests assert every flag below is real and every parsed flag is
+/// documented here.
 pub const USAGE: &str = "\
 casbn — chordal adaptive sampling for biological networks
 
@@ -22,6 +24,23 @@ USAGE:
   casbn cluster  --in FILE [--min-score F] [--min-size N] [--json]
   casbn stats    --in FILE [--centrality]
   casbn compare  --original FILE --filtered FILE
+  casbn help
+
+FLAGS:
+  --preset     dataset preset calibrated to the paper's four networks
+  --scale      dataset size fraction, 1.0 = full paper scale (default 1.0)
+  --in         input network as a whitespace `u v` edge list
+  --out        output edge-list file (default: stdout)
+  --algo       sampling filter (see ALGO below)
+  --ranks      simulated processors for parallel filters (default 1)
+  --partition  vertex distribution: block | rr (round-robin) | bfs (default bfs)
+  --seed       RNG seed; equal seeds give identical output (default 0)
+  --min-score  MCODE minimum cluster score (default 3.0, the paper's cut)
+  --min-size   MCODE minimum cluster size (default 4)
+  --json       emit clusters as JSON instead of a table
+  --centrality also print degree/betweenness centrality (slow on big graphs)
+  --original   unfiltered network for `compare`
+  --filtered   filtered network for `compare`
 
 ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
       forestfire | randomnode | randomedge
@@ -44,8 +63,9 @@ fn save(g: &Graph, path: Option<&str>, header: &str) -> Result<(), String> {
             let f = File::create(p).map_err(|e| format!("create {p}: {e}"))?;
             write_edge_list(g, f, Some(header)).map_err(|e| e.to_string())
         }
-        None => write_edge_list(g, std::io::stdout().lock(), Some(header))
-            .map_err(|e| e.to_string()),
+        None => {
+            write_edge_list(g, std::io::stdout().lock(), Some(header)).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -141,7 +161,11 @@ pub fn cluster(argv: &[String]) -> i32 {
                 serde_json::to_string_pretty(&clusters).map_err(|e| e.to_string())?
             );
         } else {
-            println!("{} clusters (score >= {})", clusters.len(), params.min_score);
+            println!(
+                "{} clusters (score >= {})",
+                clusters.len(),
+                params.min_score
+            );
             for (i, c) in clusters.iter().enumerate() {
                 println!(
                     "#{:<3} score {:>6.2}  size {:>4}  density {:>5.2}  seed {}",

@@ -1,0 +1,86 @@
+//! `casbn --help` snapshot: the binary's help output is exactly
+//! [`commands::USAGE`], and `USAGE` documents exactly the flags the
+//! subcommands parse.
+
+use casbn_cli::commands::USAGE;
+use std::process::Command;
+
+/// Every `--flag` a subcommand reads via `Args` (grep `args.(get|require|
+/// get_or|has)` in `commands.rs` when adding one — and add it here AND to
+/// `USAGE`).
+const PARSED_FLAGS: &[&str] = &[
+    "--preset",
+    "--scale",
+    "--in",
+    "--out",
+    "--algo",
+    "--ranks",
+    "--partition",
+    "--seed",
+    "--min-score",
+    "--min-size",
+    "--json",
+    "--centrality",
+    "--original",
+    "--filtered",
+];
+
+#[test]
+fn help_snapshot_matches_usage_constant() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .arg("--help")
+        .output()
+        .expect("run casbn --help");
+    assert!(out.status.success(), "--help exited nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 help output");
+    assert_eq!(stdout, USAGE, "binary help drifted from commands::USAGE");
+}
+
+#[test]
+fn bare_invocation_prints_usage_too() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .output()
+        .expect("run casbn");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), USAGE);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage_on_stderr() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .arg("frobnicate")
+        .output()
+        .expect("run casbn frobnicate");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("USAGE:"));
+}
+
+#[test]
+fn usage_documents_every_parsed_flag() {
+    for flag in PARSED_FLAGS {
+        assert!(USAGE.contains(flag), "USAGE is missing `{flag}`");
+    }
+}
+
+#[test]
+fn usage_names_every_subcommand_and_algorithm() {
+    for sub in ["generate", "filter", "cluster", "stats", "compare", "help"] {
+        assert!(
+            USAGE.contains(&format!("casbn {sub}")),
+            "USAGE is missing subcommand `{sub}`"
+        );
+    }
+    for algo in [
+        "chordal-seq",
+        "chordal-nocomm",
+        "chordal-comm",
+        "randomwalk",
+        "forestfire",
+        "randomnode",
+        "randomedge",
+    ] {
+        assert!(USAGE.contains(algo), "USAGE is missing algorithm `{algo}`");
+    }
+}

@@ -80,12 +80,7 @@ fn unknown_algo_fails_cleanly() {
         ])),
         0
     );
-    let code = commands::filter(&sv(&[
-        "--in",
-        net.to_str().unwrap(),
-        "--algo",
-        "magic",
-    ]));
+    let code = commands::filter(&sv(&["--in", net.to_str().unwrap(), "--algo", "magic"]));
     assert_eq!(code, 2);
     let _ = std::fs::remove_file(net);
 }

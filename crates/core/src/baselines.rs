@@ -113,9 +113,7 @@ pub struct RandomNodeFilter {
 
 impl Default for RandomNodeFilter {
     fn default() -> Self {
-        RandomNodeFilter {
-            node_fraction: 0.7,
-        }
+        RandomNodeFilter { node_fraction: 0.7 }
     }
 }
 
@@ -150,9 +148,7 @@ pub struct RandomEdgeFilter {
 
 impl Default for RandomEdgeFilter {
     fn default() -> Self {
-        RandomEdgeFilter {
-            edge_fraction: 0.5,
-        }
+        RandomEdgeFilter { edge_fraction: 0.5 }
     }
 }
 
@@ -239,11 +235,8 @@ mod tests {
         let params = McodeParams::default();
         let orig = mcode_cluster(&g, &params).len();
         assert!(orig >= 5, "need clusters to start with, got {orig}");
-        let chordal = mcode_cluster(
-            &SequentialChordalFilter::new().filter(&g, 0).graph,
-            &params,
-        )
-        .len();
+        let chordal =
+            mcode_cluster(&SequentialChordalFilter::new().filter(&g, 0).graph, &params).len();
         // edge-thinning samplers drop dense modules below the MCODE cut
         for (name, out) in [
             ("forestfire", ForestFireFilter::default().filter(&g, 5)),
@@ -259,13 +252,10 @@ mod tests {
         // 30% of discarded genes shrink the retained cluster *membership*
         let rn = RandomNodeFilter::default().filter(&g, 5);
         let rn_clusters = mcode_cluster(&rn.graph, &params);
-        let ch_clusters = mcode_cluster(
-            &SequentialChordalFilter::new().filter(&g, 0).graph,
-            &params,
-        );
-        let members = |cs: &[casbn_mcode::Cluster]| -> usize {
-            cs.iter().map(|c| c.vertices.len()).sum()
-        };
+        let ch_clusters =
+            mcode_cluster(&SequentialChordalFilter::new().filter(&g, 0).graph, &params);
+        let members =
+            |cs: &[casbn_mcode::Cluster]| -> usize { cs.iter().map(|c| c.vertices.len()).sum() };
         assert!(rn_clusters.len() <= chordal);
         assert!(
             members(&rn_clusters) < members(&ch_clusters),
@@ -278,14 +268,8 @@ mod tests {
     #[test]
     fn random_edge_fraction_controls_retention() {
         let (g, _) = network();
-        let half = RandomEdgeFilter {
-            edge_fraction: 0.5,
-        }
-        .filter(&g, 1);
-        let tenth = RandomEdgeFilter {
-            edge_fraction: 0.1,
-        }
-        .filter(&g, 1);
+        let half = RandomEdgeFilter { edge_fraction: 0.5 }.filter(&g, 1);
+        let tenth = RandomEdgeFilter { edge_fraction: 0.1 }.filter(&g, 1);
         assert!(tenth.graph.m() < half.graph.m());
         let frac = half.graph.m() as f64 / g.m() as f64;
         assert!((0.4..0.6).contains(&frac), "got {frac}");

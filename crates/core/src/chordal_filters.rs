@@ -486,10 +486,7 @@ mod tests {
         g.add_edge(2, 6);
         g.add_edge(4, 6);
         g.add_edge(4, 8);
-        let part = Partition::from_assignment(
-            vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1],
-            2,
-        );
+        let part = Partition::from_assignment(vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1], 2);
         // reuse internals via a custom run: emulate with Block on this id
         // layout (ids 0..4 -> part 0, 5..9 -> part 1), which Block yields
         let blockpart = Partition::new(&g, 2, PartitionKind::Block);

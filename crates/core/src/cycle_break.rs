@@ -47,10 +47,7 @@ pub fn break_cycles(qcs: &Graph, border: &[Edge]) -> (Graph, CycleBreakReport) {
     let mut g = qcs.clone();
     let mut deleted = 0usize;
 
-    let mut sorted: Vec<Edge> = border
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
+    let mut sorted: Vec<Edge> = border.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
     sorted.sort_unstable();
     sorted.dedup();
 

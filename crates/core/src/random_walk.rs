@@ -332,9 +332,7 @@ mod tests {
             assert_eq!(border_coin(s, 3, 9), border_coin(s, 9, 3));
         }
         // and roughly fair
-        let heads = (0..1000u32)
-            .filter(|&i| border_coin(99, i, i + 1))
-            .count();
+        let heads = (0..1000u32).filter(|&i| border_coin(99, i, i + 1)).count();
         assert!((350..=650).contains(&heads), "heads {heads}");
     }
 }

@@ -94,7 +94,11 @@ pub fn allreduce_u64(ctx: &mut RankCtx, value: u64, op: fn(u64, u64) -> u64) -> 
         while dist < pow2 {
             let partner = me ^ dist;
             // both send then receive: RankCtx buffers, so no deadlock
-            ctx.send(partner, COLLECTIVE_TAG + 3 + dist as u64, acc.to_le_bytes().to_vec());
+            ctx.send(
+                partner,
+                COLLECTIVE_TAG + 3 + dist as u64,
+                acc.to_le_bytes().to_vec(),
+            );
             let got = ctx.recv(partner, COLLECTIVE_TAG + 3 + dist as u64);
             acc = op(acc, u64::from_le_bytes(got.try_into().unwrap()));
             dist *= 2;
@@ -120,7 +124,15 @@ mod tests {
     fn broadcast_from_zero() {
         for p in [1usize, 2, 3, 4, 7, 8] {
             let r = run(p, CostModel::default(), |ctx| {
-                broadcast(ctx, 0, if ctx.rank() == 0 { vec![9, 9, 9] } else { vec![] })
+                broadcast(
+                    ctx,
+                    0,
+                    if ctx.rank() == 0 {
+                        vec![9, 9, 9]
+                    } else {
+                        vec![]
+                    },
+                )
             });
             for (rank, out) in r.outputs.iter().enumerate() {
                 assert_eq!(out, &vec![9, 9, 9], "p={p} rank={rank}");

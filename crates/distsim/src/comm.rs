@@ -190,8 +190,7 @@ where
     });
     let wall = started.elapsed();
 
-    let (outputs, sim_times): (Vec<T>, Vec<f64>) =
-        outputs.into_iter().map(Option::unwrap).unzip();
+    let (outputs, sim_times): (Vec<T>, Vec<f64>) = outputs.into_iter().map(Option::unwrap).unzip();
     let sim_makespan = sim_times.iter().copied().fold(0.0, f64::max);
     DistResult {
         outputs,

@@ -37,7 +37,10 @@ pub fn encode_edges(edges: &[(u32, u32)]) -> Vec<u8> {
 
 /// Decode the wire format produced by [`encode_edges`].
 pub fn decode_edges(bytes: &[u8]) -> Vec<(u32, u32)> {
-    assert!(bytes.len().is_multiple_of(8), "edge payload must be 8-byte aligned");
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "edge payload must be 8-byte aligned"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| {

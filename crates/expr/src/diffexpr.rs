@@ -30,7 +30,10 @@ pub struct DiffExprResult {
 pub fn differential_expression(a: &ExpressionMatrix, b: &ExpressionMatrix) -> DiffExprResult {
     assert_eq!(a.genes(), b.genes(), "gene sets must match");
     let (na, nb) = (a.samples() as f64, b.samples() as f64);
-    assert!(na >= 2.0 && nb >= 2.0, "need at least two samples per condition");
+    assert!(
+        na >= 2.0 && nb >= 2.0,
+        "need at least two samples per condition"
+    );
     let mut t_stat = Vec::with_capacity(a.genes());
     let mut p_value = Vec::with_capacity(a.genes());
     for g in 0..a.genes() {
@@ -45,7 +48,8 @@ pub fn differential_expression(a: &ExpressionMatrix, b: &ExpressionMatrix) -> Di
         let t = (ma - mb) / se2.sqrt();
         // Welch–Satterthwaite degrees of freedom
         let df = se2 * se2
-            / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+            / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0))
+                .max(f64::MIN_POSITIVE);
         t_stat.push(t);
         p_value.push(students_t_two_sided_p(t.abs(), df));
     }
@@ -74,7 +78,10 @@ pub fn select_top_fraction(result: &DiffExprResult, fraction: f64) -> Vec<Vertex
 
 /// Restrict an expression matrix to a gene subset (ids ascending);
 /// returns the submatrix and the id map (new → old).
-pub fn restrict_genes(m: &ExpressionMatrix, genes: &[VertexId]) -> (ExpressionMatrix, Vec<VertexId>) {
+pub fn restrict_genes(
+    m: &ExpressionMatrix,
+    genes: &[VertexId],
+) -> (ExpressionMatrix, Vec<VertexId>) {
     let mut data = Vec::with_capacity(genes.len() * m.samples());
     for &g in genes {
         data.extend_from_slice(m.row(g as usize));
@@ -109,7 +116,11 @@ mod tests {
         let mut mk = |shift: bool| {
             let mut m = ExpressionMatrix::zeros(genes, 10);
             for g in 0..genes {
-                let base = if shift && shifted.contains(&g) { delta } else { 0.0 };
+                let base = if shift && shifted.contains(&g) {
+                    delta
+                } else {
+                    0.0
+                };
                 for x in m.row_mut(g) {
                     *x = base + crate::matrix::normal(&mut rng);
                 }

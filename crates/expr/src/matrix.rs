@@ -82,10 +82,7 @@ impl ExpressionMatrix {
     pub fn pearson(&self, a: usize, b: usize) -> f64 {
         let (ra, rb) = (self.row(a), self.row(b));
         let s = self.samples as f64;
-        let (ma, mb) = (
-            ra.iter().sum::<f64>() / s,
-            rb.iter().sum::<f64>() / s,
-        );
+        let (ma, mb) = (ra.iter().sum::<f64>() / s, rb.iter().sum::<f64>() / s);
         let mut cov = 0.0;
         let mut va = 0.0;
         let mut vb = 0.0;
@@ -164,8 +161,13 @@ mod tests {
         let z = m.standardized();
         for a in 0..5 {
             for b in 0..5 {
-                let dot: f64 =
-                    z.row(a).iter().zip(z.row(b)).map(|(x, y)| x * y).sum::<f64>() / 10.0;
+                let dot: f64 = z
+                    .row(a)
+                    .iter()
+                    .zip(z.row(b))
+                    .map(|(x, y)| x * y)
+                    .sum::<f64>()
+                    / 10.0;
                 assert!(
                     (dot - m.pearson(a, b)).abs() < 1e-9,
                     "mismatch at ({a},{b})"

@@ -52,12 +52,7 @@ impl CorrelationNetwork {
                 let ri = z.row(i);
                 let z = &z;
                 (i + 1..genes).filter_map(move |j| {
-                    let rho = ri
-                        .iter()
-                        .zip(z.row(j))
-                        .map(|(a, b)| a * b)
-                        .sum::<f64>()
-                        * inv;
+                    let rho = ri.iter().zip(z.row(j)).map(|(a, b)| a * b).sum::<f64>() * inv;
                     if rho >= params.min_rho && pearson_p_value(rho, samples) <= params.max_p {
                         Some(((i as u32, j as u32), rho))
                     } else {
@@ -131,8 +126,7 @@ fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * betacf(a, b, x) / a

@@ -175,9 +175,7 @@ pub fn cycle_census(g: &Graph) -> CycleCensus {
     for (u, _v) in g.edges() {
         ne[comp[u as usize]] += 1;
     }
-    let independent_cycles = (0..ncomp)
-        .map(|c| (ne[c] + 1).saturating_sub(nv[c]))
-        .sum();
+    let independent_cycles = (0..ncomp).map(|c| (ne[c] + 1).saturating_sub(nv[c])).sum();
 
     let mut triangle_free = 0usize;
     for (u, v) in g.edges() {

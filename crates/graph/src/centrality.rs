@@ -108,8 +108,7 @@ fn brandes_source(g: &Graph, s: VertexId) -> Vec<f64> {
     let mut out = vec![0.0f64; n];
     while let Some(w) = stack.pop() {
         for &v in &preds[w as usize] {
-            delta[v as usize] +=
-                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            delta[v as usize] += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
         }
         if w != s {
             out[w as usize] += delta[w as usize];
@@ -176,7 +175,9 @@ mod tests {
     }
 
     fn path(n: usize) -> Graph {
-        let edges: Vec<_> = (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as VertexId, i as VertexId + 1))
+            .collect();
         Graph::from_edges(n, &edges)
     }
 

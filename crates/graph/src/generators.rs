@@ -116,8 +116,7 @@ pub fn planted_partition(
     let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
     ids.shuffle(&mut rng);
     for mi in 0..modules {
-        let verts: Vec<VertexId> =
-            ids[mi * module_size..(mi + 1) * module_size].to_vec();
+        let verts: Vec<VertexId> = ids[mi * module_size..(mi + 1) * module_size].to_vec();
         for i in 0..verts.len() {
             for j in (i + 1)..verts.len() {
                 if rng.gen_bool(p_in) {
@@ -144,7 +143,10 @@ pub fn planted_partition(
 /// to its `k/2` nearest neighbours on both sides, with each edge rewired
 /// to a random endpoint with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k >= 2 && k.is_multiple_of(2) && n > k, "need even k >= 2 and n > k");
+    assert!(
+        k >= 2 && k.is_multiple_of(2) && n > k,
+        "need even k >= 2 and n > k"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     for u in 0..n {

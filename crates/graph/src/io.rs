@@ -44,7 +44,9 @@ pub fn read_edge_list<R: Read>(
     min_vertices: usize,
 ) -> Result<(Graph, Vec<WeightedEdge>), IoError> {
     let mut edges: Vec<WeightedEdge> = Vec::new();
-    let mut max_id: u64 = 0;
+    // `None` until the first edge: an input with no edges must produce a
+    // vertex-free graph, not a phantom vertex 0
+    let mut max_id: Option<u64> = None;
     for (lineno, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
         let s = line.trim();
@@ -67,17 +69,21 @@ pub fn read_edge_list<R: Read>(
                 .map_err(|_| IoError::Parse(lineno + 1, s.to_string()))?,
             None => 1.0,
         };
-        max_id = max_id.max(u as u64).max(v as u64);
+        max_id = Some(max_id.unwrap_or(0).max(u as u64).max(v as u64));
         edges.push(((u.min(v), u.max(v)), w));
     }
-    let n = ((max_id + 1) as usize).max(min_vertices);
+    let n = (max_id.map_or(0, |m| m + 1) as usize).max(min_vertices);
     let bare: Vec<(VertexId, VertexId)> = edges.iter().map(|&(e, _)| e).collect();
     Ok((Graph::from_edges(n, &bare), edges))
 }
 
 /// Write `g` as an edge list, one `u\tv` per line, with an optional
 /// header comment.
-pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W, header: Option<&str>) -> std::io::Result<()> {
+pub fn write_edge_list<W: Write>(
+    g: &Graph,
+    mut writer: W,
+    header: Option<&str>,
+) -> std::io::Result<()> {
     if let Some(h) = header {
         writeln!(writer, "# {h}")?;
     }
@@ -155,5 +161,100 @@ mod tests {
     fn duplicate_and_reversed_edges_collapse() {
         let (g, _) = read_edge_list("0 1\n1 0\n0 1\n".as_bytes(), 0).unwrap();
         assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::new(0);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, None).unwrap();
+        assert!(buf.is_empty(), "empty graph writes no lines");
+        let (g2, w) = read_edge_list(&buf[..], 0).unwrap();
+        // empty input has no ids at all, so the graph is vertex-free too
+        assert_eq!(g2.n(), 0);
+        assert_eq!(g2.m(), 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn empty_input_with_only_comments() {
+        let (g, w) = read_edge_list("# nothing here\n\n#\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_survive_via_min_vertices() {
+        // the edge-list format cannot represent trailing isolated
+        // vertices; `min_vertices` is the contract for preserving them
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        // vertices 4 and 5 are isolated
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, Some("with isolates")).unwrap();
+        let (lossy, _) = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(lossy.n(), 4, "isolates beyond the max id are dropped");
+        let (g2, _) = read_edge_list(&buf[..], g.n()).unwrap();
+        assert_eq!(g2.n(), 6);
+        assert!(g.same_edges(&g2));
+        assert_eq!(g2.degree(4), 0);
+        assert_eq!(g2.degree(5), 0);
+    }
+
+    #[test]
+    fn interior_isolated_vertices_roundtrip_exactly() {
+        // an isolated vertex *below* the max id needs no padding at all
+        let g = Graph::from_edges(5, &[(0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, None).unwrap();
+        let (g2, _) = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g2.n(), 5);
+        assert!(g.same_edges(&g2));
+        for v in 1..4 {
+            assert_eq!(g2.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn single_token_line_is_malformed() {
+        match read_edge_list("0 1\n7\n".as_bytes(), 0) {
+            Err(IoError::Parse(2, s)) => assert_eq!(s, "7"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_weight_is_malformed() {
+        match read_edge_list("0 1 heavy\n".as_bytes(), 0) {
+            Err(IoError::Parse(1, s)) => assert!(s.contains("heavy")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_ids_are_malformed() {
+        assert!(matches!(
+            read_edge_list("-1 2\n".as_bytes(), 0),
+            Err(IoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn parse_error_messages_name_the_line() {
+        let err = read_edge_list("0 1\nbad line\n".as_bytes(), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "got {msg:?}");
+        assert!(msg.contains("bad line"), "got {msg:?}");
+    }
+
+    #[test]
+    fn self_loops_are_dropped_like_graph_add_edge() {
+        let (g, w) = read_edge_list("3 3\n0 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.m(), 1, "self-loop must not become an edge");
+        // the weight list still records the raw line, graph-level dedup is
+        // structural only
+        assert_eq!(w.len(), 2);
     }
 }

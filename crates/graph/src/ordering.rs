@@ -164,10 +164,7 @@ fn rcm_permutation(g: &Graph) -> Vec<VertexId> {
 /// `max |u - v|` over edges. RCM should not increase (and usually shrinks)
 /// this value relative to a random labelling.
 pub fn bandwidth(g: &Graph) -> usize {
-    g.edges()
-        .map(|(u, v)| (v - u) as usize)
-        .max()
-        .unwrap_or(0)
+    g.edges().map(|(u, v)| (v - u) as usize).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -242,13 +239,18 @@ mod tests {
     fn rcm_reduces_bandwidth_on_path_shuffle() {
         // a path relabelled randomly has large bandwidth; RCM restores ~1
         let n = 50;
-        let edges: Vec<_> = (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as VertexId, i as VertexId + 1))
+            .collect();
         let path = Graph::from_edges(n, &edges);
         let (shuffled, _) = apply_ordering(&path, OrderingKind::Random(99));
         let before = bandwidth(&shuffled);
         let (rcm, _) = apply_ordering(&shuffled, OrderingKind::Rcm);
         let after = bandwidth(&rcm);
-        assert!(after <= before, "RCM increased bandwidth {before} -> {after}");
+        assert!(
+            after <= before,
+            "RCM increased bandwidth {before} -> {after}"
+        );
         assert_eq!(after, 1, "path bandwidth under RCM must be 1");
     }
 

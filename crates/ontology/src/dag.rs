@@ -128,7 +128,8 @@ impl GoDag {
                 best = match best {
                     None => Some((t, depth, breadth)),
                     Some((bt, bd, bb)) => {
-                        if depth > bd || (depth == bd && (breadth < bb || (breadth == bb && t < bt)))
+                        if depth > bd
+                            || (depth == bd && (breadth < bb || (breadth == bb && t < bt)))
                         {
                             Some((t, depth, breadth))
                         } else {
@@ -249,7 +250,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "expected at least one root-DCP pair among deep terms");
+        assert!(
+            found,
+            "expected at least one root-DCP pair among deep terms"
+        );
     }
 
     #[test]

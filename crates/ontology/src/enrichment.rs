@@ -173,11 +173,8 @@ mod tests {
 
     fn setup() -> (AnnotatedOntology, Vec<Vec<VertexId>>) {
         let dag = GoDag::generate(7, 3, 0.25, 5);
-        let modules: Vec<Vec<VertexId>> = vec![
-            (0..8).collect(),
-            (8..16).collect(),
-            (16..24).collect(),
-        ];
+        let modules: Vec<Vec<VertexId>> =
+            vec![(0..8).collect(), (8..16).collect(), (16..24).collect()];
         let onto = AnnotatedOntology::synthetic(60, &modules, dag, 6, 1, 11);
         (onto, modules)
     }
@@ -243,7 +240,9 @@ mod tests {
         let (onto, _) = setup();
         let scorer = EnrichmentScorer::new(&onto);
         // genes 30..40 are background: random annotations only
-        let edges: Vec<Edge> = (30..39).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        let edges: Vec<Edge> = (30..39)
+            .map(|i| (i as VertexId, i as VertexId + 1))
+            .collect();
         let ann = scorer.annotate_cluster(&edges);
         assert!(
             ann.aees < 3.0,

@@ -104,7 +104,12 @@ pub fn enrich_cluster(
             })
         })
         .collect();
-    out.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).unwrap().then(a.term.cmp(&b.term)));
+    out.sort_by(|a, b| {
+        a.p_value
+            .partial_cmp(&b.p_value)
+            .unwrap()
+            .then(a.term.cmp(&b.term))
+    });
     out
 }
 
@@ -125,7 +130,9 @@ mod tests {
 
     #[test]
     fn tail_monotone_in_x() {
-        let ps: Vec<f64> = (1..=5).map(|x| hypergeometric_tail(x, 10, 20, 100)).collect();
+        let ps: Vec<f64> = (1..=5)
+            .map(|x| hypergeometric_tail(x, 10, 20, 100))
+            .collect();
         for w in ps.windows(2) {
             assert!(w[0] >= w[1]);
         }
@@ -182,7 +189,7 @@ mod tests {
             let aees = scorer.annotate_cluster(&edges).aees;
             let node_hits = enrich_cluster(&onto, m, 0.01);
             assert!(
-                (aees >= 3.0) == !node_hits.is_empty(),
+                (aees >= 3.0) != node_hits.is_empty(),
                 "channels disagree: AEES {aees:.2}, node hits {}",
                 node_hits.len()
             );

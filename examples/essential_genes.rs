@@ -50,13 +50,10 @@ fn main() {
         ),
     ] {
         let rho = spearman(&before, &after);
-        let t_before: std::collections::BTreeSet<usize> =
-            top_k(&before, 50).into_iter().collect();
+        let t_before: std::collections::BTreeSet<usize> = top_k(&before, 50).into_iter().collect();
         let t_after: std::collections::BTreeSet<usize> = top_k(&after, 50).into_iter().collect();
         let kept = t_before.intersection(&t_after).count();
-        println!(
-            "{name:>12}: rank correlation (Spearman) {rho:.3}; top-50 hub overlap {kept}/50"
-        );
+        println!("{name:>12}: rank correlation (Spearman) {rho:.3}; top-50 hub overlap {kept}/50");
     }
     println!(
         "\nThe filter removes noise edges, not hubs: the essential-gene ranking \

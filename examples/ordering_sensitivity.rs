@@ -64,13 +64,14 @@ fn main() {
         for (_, cb) in &cluster_sets {
             let mut total = 0.0;
             for a in ca {
-                let best = cb
-                    .iter()
-                    .map(|b| node_overlap(a, b))
-                    .fold(0.0f64, f64::max);
+                let best = cb.iter().map(|b| node_overlap(a, b)).fold(0.0f64, f64::max);
                 total += best;
             }
-            let mean = if ca.is_empty() { 0.0 } else { total / ca.len() as f64 };
+            let mean = if ca.is_empty() {
+                0.0
+            } else {
+                total / ca.len() as f64
+            };
             print!("{mean:>7.2}");
         }
         println!();

@@ -15,11 +15,7 @@ fn main() {
         ("large (CRE-like)", 27_896, 560, 5_000),
     ] {
         let (g, _) = casbn::graph::generators::planted_partition(n, modules, 10, 0.55, noise, 7);
-        println!(
-            "=== {label}: {} vertices, {} edges ===",
-            g.n(),
-            g.m()
-        );
+        println!("=== {label}: {} vertices, {} edges ===", g.n(), g.m());
         println!(
             "{:>6} {:>16} {:>16} {:>16} {:>10}",
             "P", "chordal-comm(s)", "chordal-nocomm", "random-walk", "messages"

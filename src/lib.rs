@@ -37,6 +37,9 @@
 //! let _ = filt_clusters.len();
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+#![deny(missing_docs)]
+
 pub use casbn_analysis as analysis;
 pub use casbn_chordal as chordal;
 pub use casbn_core as sampling;
@@ -55,8 +58,8 @@ pub mod prelude {
     pub use casbn_chordal::{is_chordal, maximal_chordal_subgraph};
     pub use casbn_core::{
         break_cycles, Filter, FilterOutput, ForestFireFilter, ParallelChordalCommFilter,
-        ParallelChordalNoCommFilter, ParallelRandomWalkFilter, RandomEdgeFilter,
-        RandomNodeFilter, SequentialChordalFilter, WalkMode,
+        ParallelChordalNoCommFilter, ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter,
+        SequentialChordalFilter, WalkMode,
     };
     pub use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
     pub use casbn_graph::{

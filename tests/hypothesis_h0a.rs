@@ -24,7 +24,10 @@ fn chordal_filter_preserves_clusters_random_walk_destroys_them() {
     let (ds, _onto) = setup(DatasetPreset::Cre, 0.15);
     let params = McodeParams::default();
     let orig = mcode_cluster(&ds.network, &params).len();
-    assert!(orig >= 10, "need a meaningful cluster population, got {orig}");
+    assert!(
+        orig >= 10,
+        "need a meaningful cluster population, got {orig}"
+    );
 
     let ch = SequentialChordalFilter::new().filter(&ds.network, 0);
     let ch_clusters = mcode_cluster(&ch.graph, &params).len();

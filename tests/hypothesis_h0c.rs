@@ -42,15 +42,26 @@ fn more_processors_same_clusters_under_locality_distribution() {
     let c1 = run(1);
     let c64 = run(64);
     assert!(!c1.is_empty() && !c64.is_empty());
-    let (lo, hi) = (c1.len().min(c64.len()) as f64, c1.len().max(c64.len()) as f64);
-    assert!(lo / hi > 0.8, "cluster counts diverge: {} vs {}", c1.len(), c64.len());
+    let (lo, hi) = (
+        c1.len().min(c64.len()) as f64,
+        c1.len().max(c64.len()) as f64,
+    );
+    assert!(
+        lo / hi > 0.8,
+        "cluster counts diverge: {} vs {}",
+        c1.len(),
+        c64.len()
+    );
     // and structurally: most 64P clusters match a 1P cluster well
     let mean_best: f64 = c64
         .iter()
         .map(|a| c1.iter().map(|b| node_overlap(a, b)).fold(0.0f64, f64::max))
         .sum::<f64>()
         / c64.len() as f64;
-    assert!(mean_best > 0.7, "64P clusters diverge from 1P: {mean_best:.2}");
+    assert!(
+        mean_best > 0.7,
+        "64P clusters diverge from 1P: {mean_best:.2}"
+    );
 }
 
 #[test]
@@ -103,7 +114,12 @@ fn comm_and_nocomm_variants_agree_on_clusters() {
     let cb = mcode_cluster(&b.graph, &params);
     assert!(!ca.is_empty() && !cb.is_empty());
     let (lo, hi) = (ca.len().min(cb.len()) as f64, ca.len().max(cb.len()) as f64);
-    assert!(lo / hi > 0.6, "variants disagree: {} vs {}", ca.len(), cb.len());
+    assert!(
+        lo / hi > 0.6,
+        "variants disagree: {} vs {}",
+        ca.len(),
+        cb.len()
+    );
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`) with a simple
+//! timing harness: warm-up once, measure `sample_size` iterations, report
+//! min/median/mean per benchmark (plus derived throughput) on stdout.
+//!
+//! There is no statistical regression machinery; for the paper-figure
+//! pipeline the absolute numbers and relative ordering are what matter.
+//! Passing `--test` (as `cargo test --benches` does for harness-less
+//! targets) runs every benchmark exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// One-iteration smoke mode (`--test`).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_benchmark(&label, self.test_mode, 10, None, f);
+        self
+    }
+
+    /// Criterion calls this after all groups; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.throughput.clone(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure and records timings.
+pub struct Bencher {
+    /// `Some(n)`: measure n samples; `None`: smoke-run once.
+    samples: usize,
+    test_mode: bool,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            hint::black_box(f());
+            return;
+        }
+        // warm-up
+        hint::black_box(f());
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    test_mode: bool,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        eprintln!("  {label}: ok (smoke)");
+        return;
+    }
+    if b.times.is_empty() {
+        eprintln!("  {label}: no samples recorded");
+        return;
+    }
+    b.times.sort_unstable();
+    let min = b.times[0];
+    let median = b.times[b.times.len() / 2];
+    let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+    let rate = throughput.map(|t| t.describe(median)).unwrap_or_default();
+    eprintln!(
+        "  {label}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples){rate}",
+        b.times.len()
+    );
+}
+
+/// Identifies one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn describe(&self, per_iter: Duration) -> String {
+        let secs = per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            return String::new();
+        }
+        match self {
+            Throughput::Elements(n) => {
+                format!("  [{:.3} Melem/s]", *n as f64 / secs / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!("  [{:.3} MiB/s]", *n as f64 / secs / (1024.0 * 1024.0))
+            }
+        }
+    }
+}
+
+/// Declare a benchmark group function running each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running each `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0u32;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("dsw", 8).to_string(), "dsw/8");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator surface this workspace uses —
+//! `(range).into_par_iter().map(f).collect()` and
+//! `(range).into_par_iter().flat_map_iter(f).collect()` — with genuine
+//! data parallelism: the index space is divided into contiguous chunks
+//! executed on `std::thread::scope` threads (one per available core),
+//! and per-chunk outputs are concatenated in order, so results are
+//! identical to the sequential evaluation.
+//!
+//! This is not a work-stealing runtime; chunking is static. For the
+//! embarrassingly-parallel loops in this workspace (per-vertex BFS,
+//! all-pairs correlation) static chunking is within noise of rayon.
+
+use std::ops::Range;
+
+/// Number of worker threads: the machine's available parallelism.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Index types a parallel range can be built over.
+pub trait RangeIndex: Copy + Send + Sync + 'static {
+    fn to_usize(self) -> usize;
+    fn from_usize(v: usize) -> Self;
+}
+
+macro_rules! impl_range_index {
+    ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            #[inline]
+            fn to_usize(self) -> usize { self as usize }
+            #[inline]
+            fn from_usize(v: usize) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_range_index!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: RangeIndex> IntoParallelIterator for Range<T> {
+    type Item = T;
+    type Iter = ParRange<T>;
+
+    fn into_par_iter(self) -> ParRange<T> {
+        ParRange {
+            start: self.start.to_usize(),
+            end: self.end.to_usize().max(self.start.to_usize()),
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A parallel iterator over a contiguous index range.
+pub struct ParRange<T> {
+    start: usize,
+    end: usize,
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: RangeIndex> ParRange<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { range: self, f }
+    }
+
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMapIter<T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        ParFlatMapIter { range: self, f }
+    }
+}
+
+/// `collect()` target types (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Run `produce` over `start..end` split into per-thread contiguous chunks,
+/// returning the per-chunk outputs in index order.
+fn run_chunked<R, F>(start: usize, end: usize, produce: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> Vec<R> + Sync,
+{
+    let len = end.saturating_sub(start);
+    let threads = num_threads().min(len.max(1));
+    if threads <= 1 || len < 2 {
+        return vec![produce(start, end)];
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = start + t * chunk;
+            let hi = (lo + chunk).min(end);
+            if lo >= hi {
+                break;
+            }
+            let produce = &produce;
+            handles.push(scope.spawn(move || produce(lo, hi)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Parallel map adapter.
+pub struct ParMap<T, F> {
+    range: ParRange<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: RangeIndex,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let f = &self.f;
+        let chunks = run_chunked(self.range.start, self.range.end, |lo, hi| {
+            (lo..hi).map(|i| f(T::from_usize(i))).collect()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+/// Parallel flat-map adapter: each index yields a *serial* iterator whose
+/// items are concatenated in index order.
+pub struct ParFlatMapIter<T, F> {
+    range: ParRange<T>,
+    f: F,
+}
+
+impl<T, I, F> ParFlatMapIter<T, F>
+where
+    T: RangeIndex,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(T) -> I + Sync,
+{
+    pub fn collect<C: FromParallelIterator<I::Item>>(self) -> C {
+        let f = &self.f;
+        let chunks = run_chunked(self.range.start, self.range.end, |lo, hi| {
+            let mut out = Vec::new();
+            for i in lo..hi {
+                out.extend(f(T::from_usize(i)));
+            }
+            out
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let par: Vec<u64> = (0u32..10_000)
+            .into_par_iter()
+            .map(|i| i as u64 * 3)
+            .collect();
+        let seq: Vec<u64> = (0u32..10_000).map(|i| i as u64 * 3).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let par: Vec<(usize, usize)> = (0usize..500)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i % 4).map(move |j| (i, j)))
+            .collect();
+        let seq: Vec<(usize, usize)> = (0usize..500)
+            .flat_map(|i| (0..i % 4).map(move |j| (i, j)))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges() {
+        let empty: Vec<u32> = (5u32..5).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = (7u32..8).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(one, vec![14]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0usize..10_000)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let n = seen.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected work on more than one thread, saw {n}");
+        }
+    }
+}

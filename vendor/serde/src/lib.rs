@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on non-generic structs/enums, funnelled through a
+//! JSON-shaped [`Value`] tree that `serde_json` (also vendored) renders and
+//! parses. The trait *names* match serde so `use serde::{Serialize,
+//! Deserialize}` works untouched; the trait *methods* are a simpler
+//! tree-building pair (`to_value` / `from_value`) rather than the real
+//! visitor machinery.
+//!
+//! Swapping the real serde back in later only requires deleting `vendor/`
+//! and restoring the crates.io entries in the workspace manifest — no
+//! source change outside `Cargo.toml` files.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::time::Duration;
+
+/// The data-model tree every serialisable type lowers to.
+///
+/// Mirrors the JSON data model; `Object` preserves insertion order (field
+/// declaration order for derived structs) by using a `Vec` of pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers.
+    Int(i64),
+    /// Unsigned integers that may exceed `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialisation/deserialisation error: a path-less human-readable message.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!(
+            "missing field `{field}` while deserialising `{ty}`"
+        ))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for enum `{ty}`"))
+    }
+
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Human-readable name of the value's JSON kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a named field of an object (derive helper).
+    pub fn field(&self, name: &str, ty: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::missing_field(ty, name)),
+            other => Err(Error::type_mismatch(ty, other)),
+        }
+    }
+
+    /// Look up a positional element of an array (derive helper).
+    pub fn index(&self, idx: usize, ty: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(idx)
+                .ok_or_else(|| Error::custom(format!("missing element {idx} of `{ty}`"))),
+            other => Err(Error::type_mismatch(ty, other)),
+        }
+    }
+
+    fn as_i64(&self, ty: &str) -> Result<i64, Error> {
+        match *self {
+            Value::Int(v) => Ok(v),
+            Value::UInt(v) => i64::try_from(v)
+                .map_err(|_| Error::custom(format!("integer {v} out of range for `{ty}`"))),
+            ref other => Err(Error::type_mismatch(ty, other)),
+        }
+    }
+
+    fn as_u64(&self, ty: &str) -> Result<u64, Error> {
+        match *self {
+            Value::UInt(v) => Ok(v),
+            Value::Int(v) => u64::try_from(v)
+                .map_err(|_| Error::custom(format!("integer {v} out of range for `{ty}`"))),
+            ref other => Err(Error::type_mismatch(ty, other)),
+        }
+    }
+}
+
+/// Lower `self` into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64(stringify!($t))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for `{}`", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64(stringify!($t))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for `{}`", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(x) => Ok(x as $t),
+                    Value::Int(x) => Ok(x as $t),
+                    Value::UInt(x) => Ok(x as $t),
+                    ref other => Err(Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::type_mismatch("char", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(v.index($idx, "tuple")?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialise as an array of `[key, value]` pairs so non-string keys
+/// round-trip without a string-coercion convention.
+macro_rules! impl_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|pair| {
+                            Ok((
+                                K::from_value(pair.index(0, "map entry")?)?,
+                                V::from_value(pair.index(1, "map entry")?)?,
+                            ))
+                        })
+                        .collect(),
+                    other => Err(Error::type_mismatch("map (array of pairs)", other)),
+                }
+            }
+        }
+    };
+}
+
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, std::hash::Hash + Eq);
+
+macro_rules! impl_set {
+    ($set:ident, $($bound:tt)+) => {
+        impl<T: Serialize> Serialize for $set<T> {
+            fn to_value(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $set<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => items.iter().map(T::from_value).collect(),
+                    other => Err(Error::type_mismatch("set (array)", other)),
+                }
+            }
+        }
+    };
+}
+
+impl_set!(BTreeSet, Ord);
+impl_set!(HashSet, std::hash::Hash + Eq);
+
+/// Matches real serde's representation: `{"secs": u64, "nanos": u32}`.
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = v.field("secs", "Duration")?.as_u64("Duration.secs")?;
+        let nanos = v.field("nanos", "Duration")?.as_u64("Duration.nanos")?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&42i32.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hello");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        let mut m = BTreeMap::new();
+        m.insert(7u32, vec![1u8, 2]);
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(i64::from_value(&Value::UInt(u64::MAX)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+}

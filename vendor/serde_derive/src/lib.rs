@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal serde data model (see `vendor/serde`): a
+//! JSON-shaped `Value` tree with `Serialize::to_value` /
+//! `Deserialize::from_value`. This proc-macro derives those traits for the
+//! shapes the workspace actually uses:
+//!
+//! * structs with named fields (serialised as an object keyed by field name),
+//! * unit structs,
+//! * tuple structs (serialised as an array),
+//! * enums with unit variants (serialised as the variant-name string) and
+//!   tuple variants (externally tagged: `{"Variant": payload}`), matching
+//!   serde's default representation.
+//!
+//! Generic types are not supported — none of the workspace's serialisable
+//! types are generic. There is no `syn`/`quote` available offline, so parsing
+//! is done directly on the `proc_macro::TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    /// Variant name → payload arity (0 = unit-like).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip outer attributes (`#[...]`, doc comments) and visibility, returning
+/// the iterator positioned at the `struct`/`enum` keyword.
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: consume the bracket group
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // optional `pub(crate)` / `pub(super)` restriction
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // other modifiers (e.g. `crate`) — keep scanning
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: could not find `struct` or `enum` keyword"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    let shape = match it.next() {
+        // unit struct `struct Foo;`
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_top_level_items(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+        }
+        other => panic!("serde_derive shim: unexpected body for `{name}`: {other:?}"),
+    };
+    Input { name, shape }
+}
+
+/// Count comma-separated items at the top level of a token stream,
+/// treating `<...>` angle-bracket nesting as one level (commas inside
+/// generic arguments are *plain punctuation*, not groups).
+fn count_top_level_items(ts: TokenStream) -> usize {
+    let mut items = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(ref p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    saw_tokens = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    saw_tokens = true;
+                }
+                ',' if angle_depth == 0 => {
+                    items += 1;
+                    saw_tokens = false;
+                }
+                _ => saw_tokens = true,
+            },
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        items += 1;
+    }
+    items
+}
+
+/// Extract field names from the brace body of a named-field struct.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        // skip attributes
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next(); // bracket group
+            } else {
+                break;
+            }
+        }
+        // skip visibility
+        if let Some(TokenTree::Ident(id)) = it.peek() {
+            if id.to_string() == "pub" {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        }
+        // expect `:`, then skip the type up to the next top-level comma
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:`, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                None => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extract `(variant_name, payload_arity)` pairs from an enum body.
+fn parse_variants(ts: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = it.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_items(g.stream());
+                    it.next();
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive shim: struct-variant enums are not supported ({name})")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // skip an optional `= discriminant`, then the separating comma
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                None => break,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+fn tuple_bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Named(fields) => {
+            let items: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        )
+                    } else {
+                        let binds = tuple_bindings(*arity);
+                        let pat = binds.join(", ");
+                        let payload = if *arity == 1 {
+                            format!("::serde::Serialize::to_value({})", binds[0])
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{v}({pat}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {payload})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Unit => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Shape::Tuple(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(__v.index({i}, \"{name}\")?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({items}))")
+        }
+        Shape::Named(fields) => {
+            let items: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.field(\"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {items} }})")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    let ctor = if *arity == 1 {
+                        format!("{name}::{v}(::serde::Deserialize::from_value(__payload)?)")
+                    } else {
+                        let items: String = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(\
+                                     __payload.index({i}, \"{name}::{v}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        format!("{name}::{v}({items})")
+                    };
+                    format!("\"{v}\" => ::std::result::Result::Ok({ctor}),")
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\
+                             \"{name}\", __other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\
+                                 \"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::type_mismatch(\
+                         \"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated invalid Deserialize impl")
+}
