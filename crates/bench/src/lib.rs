@@ -7,7 +7,9 @@
 //! `figures` binary renders them as text tables / JSON.
 
 pub mod figures;
+pub mod perfbase;
 pub mod pipeline;
 pub mod render;
 
+pub use perfbase::{DiffReport, PerfBaseline, PerfSuite, WorkloadResult};
 pub use pipeline::{AnnotatedCluster, Experiment, ExperimentScale};

@@ -1,0 +1,490 @@
+//! Perf-baseline subsystem: pinned-seed workloads, a JSON baseline file
+//! (`BENCH_pipeline.json` at the repo root), and regression diffing.
+//!
+//! Unlike the criterion micro-benches under `benches/`, this module
+//! records the **perf trajectory of the whole pipeline** across PRs: a
+//! fixed set of named workloads is run at a pinned scale and seed, and
+//! the results are written to a committed JSON file that later runs (and
+//! CI) diff against.
+//!
+//! Two metric classes are recorded per workload:
+//!
+//! * **deterministic** — the simulated LogP makespan (`sim_seconds`) and
+//!   an output checksum (`checksum`: retained edges / clusters found).
+//!   These are machine-independent: a change is a real algorithmic
+//!   regression (or drift), so [`diff`] always gates on them.
+//! * **wall-clock** — `wall_seconds`, the minimum over the configured
+//!   repeats. Wall time varies across hosts, so [`diff`] reports wall
+//!   regressions as warnings unless explicitly asked to gate on them.
+
+use casbn_core::{Filter, ParallelChordalNoCommFilter, SequentialChordalFilter};
+use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
+use casbn_graph::{Graph, PartitionKind};
+use casbn_mcode::{mcode_cluster, McodeParams};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Default dataset scale of the committed baseline (`casbn bench`).
+pub const DEFAULT_SCALE: f64 = 0.15;
+/// Default timing repetitions (minimum wall time is kept).
+pub const DEFAULT_REPEATS: usize = 3;
+/// Default relative regression threshold (0.5 = fail above +50%).
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+/// Baseline-file schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One workload's measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Workload name (stable across PRs; the diff key).
+    pub name: String,
+    /// Minimum wall-clock seconds over the repeats.
+    pub wall_seconds: f64,
+    /// Simulated LogP makespan in seconds (0.0 for workloads that do not
+    /// run on the distributed substrate).
+    pub sim_seconds: f64,
+    /// Deterministic output checksum: retained edges or clusters found.
+    pub checksum: u64,
+}
+
+/// All workloads measured at one dataset scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfSuite {
+    /// Dataset scale fraction the suite ran at.
+    pub scale: f64,
+    /// Per-workload results.
+    pub results: Vec<WorkloadResult>,
+}
+
+/// The on-disk baseline: one suite per recorded scale.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PerfBaseline {
+    /// Schema version of this file.
+    pub schema: u32,
+    /// Recorded suites, ascending scale.
+    pub suites: Vec<PerfSuite>,
+}
+
+/// One detected difference between a baseline and a fresh suite.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Regression {
+    /// Workload name.
+    pub workload: String,
+    /// Metric that moved: `"sim"`, `"wall"` or `"checksum"`.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Fresh value.
+    pub new: f64,
+}
+
+/// Outcome of diffing a fresh suite against a baseline.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Workloads compared (matched by name at the same scale).
+    pub compared: usize,
+    /// Gating regressions (deterministic metrics; plus wall when opted in).
+    pub failures: Vec<Regression>,
+    /// Non-gating wall-clock regressions.
+    pub wall_warnings: Vec<Regression>,
+    /// Workloads present on one side only.
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the diff should fail the run. Workloads present on only
+    /// one side gate too: a renamed or dropped workload must not
+    /// silently disable its regression check.
+    pub fn is_regression(&self) -> bool {
+        !self.failures.is_empty() || !self.missing.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("compared {} workloads\n", self.compared));
+        for r in &self.failures {
+            out.push_str(&format!(
+                "REGRESSION  {:<18} {:>9}: {:.6} -> {:.6}\n",
+                r.workload, r.metric, r.old, r.new
+            ));
+        }
+        for r in &self.wall_warnings {
+            out.push_str(&format!(
+                "warning     {:<18} {:>9}: {:.6} -> {:.6} (wall clock, not gating)\n",
+                r.workload, r.metric, r.old, r.new
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!(
+                "MISSING     {m} (present on one side only — gates)\n"
+            ));
+        }
+        if self.failures.is_empty() && self.wall_warnings.is_empty() && self.missing.is_empty() {
+            out.push_str("no regressions\n");
+        }
+        out
+    }
+}
+
+/// Time `f` `repeats` times; return the minimum wall seconds and the last
+/// output (the workloads are deterministic, so any repeat's output works).
+fn timed<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let repeats = repeats.max(1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+/// The filter seed every workload pins (with the preset seeds, this is
+/// what makes the suite reproducible).
+const BENCH_SEED: u64 = 0;
+
+/// Run the pinned workload suite at `scale`.
+///
+/// Workloads (names are the diff keys — do not rename casually):
+///
+/// | name | what is timed |
+/// |---|---|
+/// | `pearson-yng` | tiled parallel Pearson network build, YNG preset |
+/// | `pearson-cre` | same on the large CRE preset |
+/// | `dsw-yng` | sequential DSW chordal filter on the YNG network |
+/// | `mcode-yng` | MCODE clustering of the YNG network |
+/// | `nocomm-yng-p1` | no-comm parallel chordal filter, 1 rank |
+/// | `nocomm-yng-p4` | no-comm parallel chordal filter, 4 ranks |
+/// | `nocomm-yng-p8` | no-comm parallel chordal filter, 8 ranks |
+pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
+    let mut results = Vec::new();
+
+    // Pearson workloads: generate the arrays outside the timed region.
+    let yng_arr = SyntheticMicroarray::generate(
+        &DatasetPreset::Yng.scaled_params(scale),
+        DatasetPreset::Yng.seed(),
+    );
+    let cre_arr = SyntheticMicroarray::generate(
+        &DatasetPreset::Cre.scaled_params(scale),
+        DatasetPreset::Cre.seed(),
+    );
+    let (wall, yng_net) = timed(repeats, || {
+        CorrelationNetwork::from_expression(&yng_arr.matrix, DatasetPreset::Yng.network_params())
+    });
+    results.push(WorkloadResult {
+        name: "pearson-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: yng_net.graph.m() as u64,
+    });
+    let (wall, cre_net) = timed(repeats, || {
+        CorrelationNetwork::from_expression(&cre_arr.matrix, DatasetPreset::Cre.network_params())
+    });
+    results.push(WorkloadResult {
+        name: "pearson-cre".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: cre_net.graph.m() as u64,
+    });
+
+    // Filter + clustering workloads all run on the YNG network.
+    let g: &Graph = &yng_net.graph;
+    let (wall, out) = timed(repeats, || {
+        SequentialChordalFilter::new().filter(g, BENCH_SEED)
+    });
+    results.push(WorkloadResult {
+        name: "dsw-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: out.stats.sim_makespan,
+        checksum: out.stats.retained_edges as u64,
+    });
+    let (wall, clusters) = timed(repeats, || mcode_cluster(g, &McodeParams::default()));
+    results.push(WorkloadResult {
+        name: "mcode-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: clusters.len() as u64,
+    });
+    for ranks in [1usize, 4, 8] {
+        let (wall, out) = timed(repeats, || {
+            ParallelChordalNoCommFilter::new(ranks, PartitionKind::Block).filter(g, BENCH_SEED)
+        });
+        results.push(WorkloadResult {
+            name: format!("nocomm-yng-p{ranks}"),
+            wall_seconds: wall,
+            sim_seconds: out.stats.sim_makespan,
+            checksum: out.stats.retained_edges as u64,
+        });
+    }
+
+    PerfSuite { scale, results }
+}
+
+fn same_scale(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// Merge `suite` into `baseline`, replacing any existing suite at the
+/// same scale and keeping suites sorted by scale.
+pub fn merge(mut baseline: PerfBaseline, suite: PerfSuite) -> PerfBaseline {
+    baseline.schema = SCHEMA_VERSION;
+    baseline
+        .suites
+        .retain(|s| !same_scale(s.scale, suite.scale));
+    baseline.suites.push(suite);
+    baseline
+        .suites
+        .sort_by(|a, b| a.scale.partial_cmp(&b.scale).unwrap());
+    baseline
+}
+
+/// Timer/scheduler jitter dominates sub-millisecond measurements, so
+/// wall-clock comparison is skipped when both sides are under this floor
+/// (smoke-scale workloads run in microseconds — ratios there are noise).
+pub const WALL_FLOOR_SECONDS: f64 = 1e-3;
+
+/// Diff `fresh` against the suite of matching scale in `baseline`.
+///
+/// * checksum mismatches always gate (deterministic output drift);
+/// * `sim_seconds` above `old * (1 + threshold)` gates (deterministic
+///   simulated work grew);
+/// * `wall_seconds` above the same bound is a warning, or gates when
+///   `gate_wall` is set — but only when either side reaches
+///   [`WALL_FLOOR_SECONDS`], below which the ratio is scheduling noise.
+///
+/// When `baseline` has no suite at `fresh.scale`, the report comes back
+/// with `compared == 0` and the scale listed in `missing` — callers
+/// should treat that as a configuration error, not a pass.
+pub fn diff(
+    baseline: &PerfBaseline,
+    fresh: &PerfSuite,
+    threshold: f64,
+    gate_wall: bool,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    let Some(base) = baseline
+        .suites
+        .iter()
+        .find(|s| same_scale(s.scale, fresh.scale))
+    else {
+        report.missing.push(format!("suite@scale={}", fresh.scale));
+        return report;
+    };
+    for new in &fresh.results {
+        let Some(old) = base.results.iter().find(|r| r.name == new.name) else {
+            report.missing.push(new.name.clone());
+            continue;
+        };
+        report.compared += 1;
+        if new.checksum != old.checksum {
+            report.failures.push(Regression {
+                workload: new.name.clone(),
+                metric: "checksum".into(),
+                old: old.checksum as f64,
+                new: new.checksum as f64,
+            });
+        }
+        if old.sim_seconds > 0.0 && new.sim_seconds > old.sim_seconds * (1.0 + threshold) {
+            report.failures.push(Regression {
+                workload: new.name.clone(),
+                metric: "sim".into(),
+                old: old.sim_seconds,
+                new: new.sim_seconds,
+            });
+        }
+        let above_floor =
+            old.wall_seconds >= WALL_FLOOR_SECONDS || new.wall_seconds >= WALL_FLOOR_SECONDS;
+        if above_floor
+            && old.wall_seconds > 0.0
+            && new.wall_seconds > old.wall_seconds * (1.0 + threshold)
+        {
+            let r = Regression {
+                workload: new.name.clone(),
+                metric: "wall".into(),
+                old: old.wall_seconds,
+                new: new.wall_seconds,
+            };
+            if gate_wall {
+                report.failures.push(r);
+            } else {
+                report.wall_warnings.push(r);
+            }
+        }
+    }
+    for old in &base.results {
+        if !fresh.results.iter().any(|r| r.name == old.name) {
+            report.missing.push(old.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> PerfSuite {
+        run_suite(0.02, 1)
+    }
+
+    #[test]
+    fn suite_has_the_named_workloads() {
+        let s = tiny_suite();
+        let names: Vec<&str> = s.results.iter().map(|r| r.name.as_str()).collect();
+        for expected in [
+            "pearson-yng",
+            "pearson-cre",
+            "dsw-yng",
+            "mcode-yng",
+            "nocomm-yng-p1",
+            "nocomm-yng-p4",
+            "nocomm-yng-p8",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+        assert!(s.results.len() >= 5);
+        // the pipeline workloads must produce non-trivial output
+        assert!(s.results.iter().any(|r| r.checksum > 0));
+        for r in &s.results {
+            assert!(r.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic_in_its_checksums_and_sims() {
+        let a = tiny_suite();
+        let b = tiny_suite();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.checksum, y.checksum, "{}", x.name);
+            assert_eq!(x.sim_seconds, y.sim_seconds, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = tiny_suite();
+        let base = merge(PerfBaseline::default(), s.clone());
+        let report = diff(&base, &s, DEFAULT_THRESHOLD, false);
+        assert_eq!(report.compared, s.results.len());
+        assert!(!report.is_regression(), "{}", report.render());
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn diff_detects_sim_and_checksum_regressions() {
+        let s = tiny_suite();
+        let mut old = s.clone();
+        // pretend the baseline was much faster and produced other output
+        for r in &mut old.results {
+            if r.name == "dsw-yng" {
+                r.sim_seconds /= 10.0;
+            }
+            if r.name == "mcode-yng" {
+                r.checksum += 1;
+            }
+        }
+        let base = merge(PerfBaseline::default(), old);
+        let report = diff(&base, &s, 0.5, false);
+        assert!(report.is_regression());
+        let metrics: Vec<&str> = report.failures.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"sim"));
+        assert!(metrics.contains(&"checksum"));
+    }
+
+    /// A one-workload suite with the given wall time (sim/checksum fixed).
+    fn wall_suite(wall_seconds: f64) -> PerfSuite {
+        PerfSuite {
+            scale: 1.0,
+            results: vec![WorkloadResult {
+                name: "w".into(),
+                wall_seconds,
+                sim_seconds: 1.0,
+                checksum: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn wall_regressions_warn_unless_gated() {
+        // above the noise floor: 10ms -> 100ms
+        let base = merge(PerfBaseline::default(), wall_suite(0.010));
+        let fresh = wall_suite(0.100);
+        let soft = diff(&base, &fresh, 0.5, false);
+        assert!(!soft.is_regression(), "{}", soft.render());
+        assert!(!soft.wall_warnings.is_empty());
+        let hard = diff(&base, &fresh, 0.5, true);
+        assert!(hard.is_regression());
+    }
+
+    #[test]
+    fn sub_millisecond_wall_jitter_is_ignored() {
+        // both sides under the floor: a 50x ratio is scheduler noise
+        let base = merge(PerfBaseline::default(), wall_suite(0.00001));
+        let report = diff(&base, &wall_suite(0.0005), 0.5, true);
+        assert!(report.wall_warnings.is_empty());
+        assert!(!report.is_regression(), "{}", report.render());
+        // but a sub-floor baseline regressing past the floor still trips
+        let report = diff(&base, &wall_suite(0.050), 0.5, false);
+        assert!(!report.wall_warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_scale_reports_nothing_compared() {
+        let s = tiny_suite();
+        let report = diff(&PerfBaseline::default(), &s, 0.5, false);
+        assert_eq!(report.compared, 0);
+        assert!(!report.missing.is_empty());
+    }
+
+    #[test]
+    fn dropped_or_renamed_workloads_gate_the_diff() {
+        let s = tiny_suite();
+        let mut old = s.clone();
+        old.results[0].name = "renamed-away".into();
+        let base = merge(PerfBaseline::default(), old);
+        let report = diff(&base, &s, 0.5, false);
+        // the fresh suite has a workload the baseline lacks AND vice versa
+        assert!(report.missing.len() >= 2, "{:?}", report.missing);
+        assert!(report.is_regression(), "missing workloads must gate");
+    }
+
+    #[test]
+    fn merge_replaces_same_scale_and_sorts() {
+        let a = PerfSuite {
+            scale: 0.15,
+            results: vec![],
+        };
+        let b = PerfSuite {
+            scale: 0.02,
+            results: vec![],
+        };
+        let c = PerfSuite {
+            scale: 0.15,
+            results: vec![WorkloadResult {
+                name: "x".into(),
+                wall_seconds: 1.0,
+                sim_seconds: 0.0,
+                checksum: 1,
+            }],
+        };
+        let base = merge(merge(merge(PerfBaseline::default(), a), b), c);
+        assert_eq!(base.schema, SCHEMA_VERSION);
+        assert_eq!(base.suites.len(), 2);
+        assert!(base.suites[0].scale < base.suites[1].scale);
+        assert_eq!(base.suites[1].results.len(), 1);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let base = merge(PerfBaseline::default(), tiny_suite());
+        let text = serde_json::to_string_pretty(&base).unwrap();
+        let back: PerfBaseline = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.schema, base.schema);
+        assert_eq!(back.suites.len(), base.suites.len());
+        assert_eq!(back.suites[0].results, base.suites[0].results);
+    }
+}

@@ -68,4 +68,29 @@ proptest! {
         let r = maximal_chordal_subgraph(&g, ChordalConfig::default());
         prop_assert!(is_chordal(&r.graph));
     }
+
+    #[test]
+    fn dsw_under_concurrent_threads_is_chordal_and_deterministic(
+        g in arb_graph(20),
+        nthreads in 1usize..6,
+    ) {
+        // the parallel filters run one DSW per rank on real OS threads —
+        // the extraction must be thread-safe and give every thread the
+        // identical result (proptest draws the thread count)
+        let base = maximal_chordal_subgraph(&g, ChordalConfig::default());
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| scope.spawn(|| maximal_chordal_subgraph(&g, ChordalConfig::default())))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("DSW thread panicked")).collect()
+        });
+        for r in &results {
+            prop_assert!(is_chordal(&r.graph), "threaded DSW output not chordal");
+            prop_assert!(r.graph.same_edges(&base.graph), "threaded DSW diverged");
+            prop_assert_eq!(&r.order, &base.order, "threaded DSW order diverged");
+            for (u, v) in r.graph.edges() {
+                prop_assert!(g.has_edge(u, v), "threaded DSW invented edge ({u},{v})");
+            }
+        }
+    }
 }

@@ -56,6 +56,27 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
     }
+
+    /// Error unless every parsed flag is in `valued` (takes a value) or
+    /// `switches` (bare), and no `valued` flag was given bare. Lets a
+    /// subcommand reject typo'd or value-less flags instead of silently
+    /// ignoring them — essential where a dropped flag disables a gate.
+    pub fn reject_unknown(&self, valued: &[&str], switches: &[&str]) -> Result<(), String> {
+        for key in self.values.keys() {
+            if !valued.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        for key in &self.switches {
+            if valued.contains(&key.as_str()) {
+                return Err(format!("--{key} needs a value"));
+            }
+            if !switches.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +111,22 @@ mod tests {
     fn bad_number_reported() {
         let a = Args::parse(&sv(&["--ranks", "eight"])).unwrap();
         assert!(a.get_or("ranks", 1usize).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_catches_typos_and_valueless_flags() {
+        let ok = Args::parse(&sv(&["--in", "x.tsv", "--json"])).unwrap();
+        assert!(ok.reject_unknown(&["in"], &["json"]).is_ok());
+        // typo'd key
+        let typo = Args::parse(&sv(&["--basline", "f.json"])).unwrap();
+        assert!(typo.reject_unknown(&["baseline"], &[]).is_err());
+        // valued flag given bare (its value was dropped)
+        let bare = Args::parse(&sv(&["--baseline", "--threshold", "0.5"])).unwrap();
+        assert!(bare
+            .reject_unknown(&["baseline", "threshold"], &[])
+            .is_err());
+        // unknown switch
+        let sw = Args::parse(&sv(&["--frobnicate"])).unwrap();
+        assert!(sw.reject_unknown(&[], &["json"]).is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use casbn_bench::perfbase;
 use casbn_core::{
     Filter, ForestFireFilter, ParallelChordalCommFilter, ParallelChordalNoCommFilter,
     ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter, SequentialChordalFilter,
@@ -24,13 +25,17 @@ USAGE:
   casbn cluster  --in FILE [--min-score F] [--min-size N] [--json]
   casbn stats    --in FILE [--centrality]
   casbn compare  --original FILE --filtered FILE
+  casbn bench    [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
+                 [--threshold F] [--wall]
   casbn help
 
 FLAGS:
   --preset     dataset preset calibrated to the paper's four networks
-  --scale      dataset size fraction, 1.0 = full paper scale (default 1.0)
+  --scale      dataset size fraction, 1.0 = full paper scale (default 1.0;
+               `bench` defaults to 0.15)
   --in         input network as a whitespace `u v` edge list
-  --out        output edge-list file (default: stdout)
+  --out        output edge-list file (default: stdout); for `bench`, the
+               JSON baseline to write/merge (e.g. BENCH_pipeline.json)
   --algo       sampling filter (see ALGO below)
   --ranks      simulated processors for parallel filters (default 1)
   --partition  vertex distribution: block | rr (round-robin) | bfs (default bfs)
@@ -41,9 +46,40 @@ FLAGS:
   --centrality also print degree/betweenness centrality (slow on big graphs)
   --original   unfiltered network for `compare`
   --filtered   filtered network for `compare`
+  --repeats    `bench` timing repetitions, minimum wall time kept (default 3)
+  --baseline   prior `bench` JSON to diff against; deterministic regressions
+               (simulated time, output checksums) fail the run
+  --threshold  `bench` relative regression threshold (default 0.5 = +50%)
+  --wall       make `bench` gate on wall-clock regressions too (off by
+               default: wall time is machine-dependent)
 
 ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
       forestfire | randomnode | randomedge
+";
+
+/// `casbn bench --help` text (also asserted verbatim by the CLI snapshot
+/// tests).
+pub const BENCH_USAGE: &str = "\
+casbn bench — pinned-seed perf baseline of the pipeline hot paths
+
+Runs the named workloads (Pearson network build on the YNG and CRE
+presets, sequential DSW, MCODE, and the no-comm parallel chordal filter
+at 1/4/8 ranks) at a pinned scale and seed, then optionally diffs the
+measurements against a committed baseline JSON.
+
+USAGE:
+  casbn bench [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
+              [--threshold F] [--wall]
+
+FLAGS:
+  --scale      dataset size fraction (default 0.15; CI smoke uses 0.02)
+  --repeats    timing repetitions, minimum wall time kept (default 3)
+  --out        baseline JSON to write; merged with the file's other
+               scales if it already exists (e.g. BENCH_pipeline.json)
+  --baseline   prior baseline JSON to diff against; exits 1 on regression
+  --threshold  relative regression threshold (default 0.5 = +50%)
+  --wall       gate on wall-clock regressions too (default: only the
+               machine-independent simulated times and output checksums)
 ";
 
 fn fail(msg: &str) -> i32 {
@@ -215,6 +251,80 @@ pub fn stats(argv: &[String]) -> i32 {
         Ok(())
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn bench` — run the pinned perf-baseline workloads and optionally
+/// diff against a committed baseline JSON. Exit codes: 0 ok, 1 regression,
+/// 2 usage/configuration error.
+pub fn bench(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{BENCH_USAGE}");
+        return 0;
+    }
+    let mut regressed = false;
+    let mut run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        // a typo'd or value-less flag here would silently disable the
+        // regression gate (e.g. `--baseline` without a file) — reject
+        args.reject_unknown(
+            &["scale", "repeats", "out", "baseline", "threshold"],
+            &["wall"],
+        )?;
+        let scale: f64 = args.get_or("scale", perfbase::DEFAULT_SCALE)?;
+        let repeats: usize = args.get_or("repeats", perfbase::DEFAULT_REPEATS)?;
+        let threshold: f64 = args.get_or("threshold", perfbase::DEFAULT_THRESHOLD)?;
+        if !scale.is_finite() || scale <= 0.0 || !threshold.is_finite() || threshold < 0.0 {
+            return Err("need --scale > 0 and --threshold >= 0".into());
+        }
+        eprintln!("running perf baseline at scale {scale} ({repeats} repeats)…");
+        let suite = perfbase::run_suite(scale, repeats);
+        println!(
+            "{:<16} {:>12} {:>12} {:>10}",
+            "workload", "wall ms", "sim ms", "checksum"
+        );
+        for r in &suite.results {
+            println!(
+                "{:<16} {:>12.3} {:>12.3} {:>10}",
+                r.name,
+                r.wall_seconds * 1e3,
+                r.sim_seconds * 1e3,
+                r.checksum
+            );
+        }
+        if let Some(path) = args.get("baseline") {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let base: perfbase::PerfBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+            let report = perfbase::diff(&base, &suite, threshold, args.has("wall"));
+            print!("{}", report.render());
+            if report.compared == 0 {
+                return Err(format!("baseline {path} has no suite at scale {scale}"));
+            }
+            regressed = report.is_regression();
+        }
+        if let Some(out) = args.get("out") {
+            // an absent file starts a fresh baseline, but an existing file
+            // that fails to parse must error — silently replacing it would
+            // destroy the other scales' committed suites
+            let existing: perfbase::PerfBaseline = match std::fs::read_to_string(out) {
+                Ok(text) => serde_json::from_str(&text).map_err(|e| {
+                    format!("existing baseline {out} is unreadable ({e}); refusing to overwrite")
+                })?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+                Err(e) => return Err(format!("read {out}: {e}")),
+            };
+            let merged = perfbase::merge(existing, suite);
+            let json = serde_json::to_string_pretty(&merged).map_err(|e| e.to_string())?;
+            std::fs::write(out, json + "\n").map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        Ok(())
+    };
+    match run() {
+        Err(e) => fail(&e),
+        Ok(()) if regressed => 1,
+        Ok(()) => 0,
+    }
 }
 
 /// `casbn compare` — cluster-level comparison of two networks.

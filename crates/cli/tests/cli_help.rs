@@ -2,7 +2,7 @@
 //! [`commands::USAGE`], and `USAGE` documents exactly the flags the
 //! subcommands parse.
 
-use casbn_cli::commands::USAGE;
+use casbn_cli::commands::{BENCH_USAGE, USAGE};
 use std::process::Command;
 
 /// Every `--flag` a subcommand reads via `Args` (grep `args.(get|require|
@@ -23,6 +23,20 @@ const PARSED_FLAGS: &[&str] = &[
     "--centrality",
     "--original",
     "--filtered",
+    "--repeats",
+    "--baseline",
+    "--threshold",
+    "--wall",
+];
+
+/// The `bench` flags, also documented in the subcommand's own help.
+const BENCH_FLAGS: &[&str] = &[
+    "--scale",
+    "--repeats",
+    "--out",
+    "--baseline",
+    "--threshold",
+    "--wall",
 ];
 
 #[test]
@@ -65,8 +79,40 @@ fn usage_documents_every_parsed_flag() {
 }
 
 #[test]
+fn bench_help_snapshot_matches_bench_usage_constant() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["bench", "--help"])
+        .output()
+        .expect("run casbn bench --help");
+    assert!(out.status.success(), "bench --help exited nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 help output");
+    assert_eq!(stdout, BENCH_USAGE, "bench help drifted from BENCH_USAGE");
+}
+
+#[test]
+fn bench_usage_documents_every_bench_flag() {
+    for flag in BENCH_FLAGS {
+        assert!(
+            BENCH_USAGE.contains(flag),
+            "BENCH_USAGE is missing `{flag}`"
+        );
+    }
+}
+
+#[test]
+fn bench_rejects_bad_scale() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["bench", "--scale", "0"])
+        .output()
+        .expect("run casbn bench --scale 0");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn usage_names_every_subcommand_and_algorithm() {
-    for sub in ["generate", "filter", "cluster", "stats", "compare", "help"] {
+    for sub in [
+        "generate", "filter", "cluster", "stats", "compare", "bench", "help",
+    ] {
         assert!(
             USAGE.contains(&format!("casbn {sub}")),
             "USAGE is missing subcommand `{sub}`"

@@ -163,18 +163,22 @@ impl Filter for ParallelChordalNoCommFilter {
 
     fn filter(&self, g: &Graph, _seed: u64) -> FilterOutput {
         let part = Partition::new(g, self.nranks, self.partition);
-        let (internal, border) = part.split_edges(g);
         let n = g.n();
 
+        // Each rank derives its own internal/border edge view inside its
+        // thread (`Partition::rank_edges`), so the O(m) edge
+        // classification runs in parallel and is charged to the
+        // simulated clock — the main thread only builds the partition.
         let result = run(self.nranks, self.cost, |ctx: &mut RankCtx| {
             let rank = ctx.rank() as u32;
-            let verts = part.vertices_of(rank);
-            let local = RankLocal::compute(n, verts, &internal[rank as usize], self.config);
+            let re = part.rank_edges(g, rank);
+            ctx.compute(re.scan_ops);
+            let local = RankLocal::compute(n, re.verts, &re.internal, self.config);
             ctx.compute(local.work);
 
             // triangle rule on border edges
             let mut kept: Vec<Edge> = local.global_edges();
-            let groups = by_foreign_endpoint(&border.per_part[rank as usize], &part, rank);
+            let groups = by_foreign_endpoint(&re.border, &part, rank);
             let mut ops = 0u64;
             for (f, locs) in groups {
                 ops += (locs.len() * locs.len()) as u64 + 1;
@@ -194,17 +198,23 @@ impl Filter for ParallelChordalNoCommFilter {
                 }
             }
             ctx.compute(ops);
-            kept
+            (kept, re.border.len())
         });
 
-        let all: Vec<Edge> = result.outputs.into_iter().flatten().collect();
+        let mut all: Vec<Edge> = Vec::new();
+        let mut border_double = 0usize;
+        for (kept, nborder) in result.outputs {
+            all.extend(kept);
+            border_double += nborder;
+        }
         let (graph, dups) = assemble(n, all);
         FilterOutput {
             stats: FilterStats {
                 nranks: self.nranks,
                 original_edges: g.m(),
                 retained_edges: graph.m(),
-                border_edges: border.all.len(),
+                // every border edge is seen by exactly its two ranks
+                border_edges: border_double / 2,
                 duplicate_border_edges: dups,
                 sim_makespan: result.sim_makespan,
                 sim_times: result.sim_times,
@@ -272,40 +282,35 @@ impl Filter for ParallelChordalCommFilter {
 
     fn filter(&self, g: &Graph, _seed: u64) -> FilterOutput {
         let part = Partition::new(g, self.nranks, self.partition);
-        let (internal, border) = part.split_edges(g);
         let n = g.n();
 
-        // mutual border edges per ordered pair (deterministic global view,
-        // like the partition itself)
-        let mut mutual: BTreeMap<(usize, usize), Vec<Edge>> = BTreeMap::new();
-        for &(u, v) in &border.all {
-            let (pu, pv) = (part.part(u) as usize, part.part(v) as usize);
-            let key = (pu.min(pv), pu.max(pv));
-            mutual.entry(key).or_default().push((u, v));
-        }
-
+        // Every rank derives its own border view locally; the mutual edge
+        // list of a pair is whatever the sender ships, so no global
+        // mutual-edge map is built on the main thread.
         let result = run(self.nranks, self.cost, |ctx: &mut RankCtx| {
             let rank = ctx.rank();
-            let verts = part.vertices_of(rank as u32);
-            let local = RankLocal::compute(n, verts, &internal[rank], self.config);
+            let re = part.rank_edges(g, rank as u32);
+            ctx.compute(re.scan_ops);
+            let local = RankLocal::compute(n, re.verts, &re.internal, self.config);
             ctx.compute(local.work);
             let mut kept: Vec<Edge> = local.global_edges();
 
-            // pairs this rank participates in, ascending partner id for a
-            // deadlock-free deterministic schedule
-            let my_pairs: Vec<(usize, usize)> = mutual
-                .keys()
-                .copied()
-                .filter(|&(a, b)| a == rank || b == rank)
-                .collect();
-            for (a, b) in my_pairs {
-                let partner = if a == rank { b } else { a };
-                let edges = &mutual[&(a, b)];
-                let sender = Self::sender_of(a, b);
+            // this rank's border edges grouped by partner rank; BTreeMap
+            // iteration gives the ascending-partner deterministic,
+            // deadlock-free schedule (both sides agree a pair exists iff
+            // mutual border edges exist)
+            let mut by_partner: BTreeMap<usize, Vec<Edge>> = BTreeMap::new();
+            for &(u, v) in &re.border {
+                let (pu, pv) = (part.part(u) as usize, part.part(v) as usize);
+                let partner = if pu == rank { pv } else { pu };
+                by_partner.entry(partner).or_default().push((u, v));
+            }
+            for (partner, edges) in &by_partner {
+                let sender = Self::sender_of(rank, *partner);
                 if sender == rank {
-                    ctx.send(partner, TAG_BORDER, encode_edges(edges));
+                    ctx.send(*partner, TAG_BORDER, encode_edges(edges));
                 } else {
-                    let received = decode_edges(&ctx.recv(partner, TAG_BORDER));
+                    let received = decode_edges(&ctx.recv(*partner, TAG_BORDER));
                     // retained-edge computation: per foreign vertex keep a
                     // greedy clique of local attachment points
                     let groups = by_foreign_endpoint(&received, &part, rank as u32);
@@ -323,17 +328,22 @@ impl Filter for ParallelChordalCommFilter {
                     ctx.compute(ops);
                 }
             }
-            kept
+            (kept, re.border.len())
         });
 
-        let all: Vec<Edge> = result.outputs.into_iter().flatten().collect();
+        let mut all: Vec<Edge> = Vec::new();
+        let mut border_double = 0usize;
+        for (kept, nborder) in result.outputs {
+            all.extend(kept);
+            border_double += nborder;
+        }
         let (graph, dups) = assemble(n, all);
         FilterOutput {
             stats: FilterStats {
                 nranks: self.nranks,
                 original_edges: g.m(),
                 retained_edges: graph.m(),
-                border_edges: border.all.len(),
+                border_edges: border_double / 2,
                 duplicate_border_edges: dups,
                 sim_makespan: result.sim_makespan,
                 sim_times: result.sim_times,

@@ -182,18 +182,20 @@ impl Filter for ParallelRandomWalkFilter {
 
     fn filter(&self, g: &Graph, seed: u64) -> FilterOutput {
         let part = Partition::new(g, self.nranks, self.partition);
-        let (internal, border) = part.split_edges(g);
         let n = g.n();
 
+        // Each rank classifies its own edges inside its thread (see
+        // `Partition::rank_edges`), charged to the simulated clock.
         let result = run(self.nranks, self.cost, |ctx: &mut RankCtx| {
             let rank = ctx.rank() as u32;
-            let verts = part.vertices_of(rank);
+            let re = part.rank_edges(g, rank);
+            ctx.compute(re.scan_ops);
             let mut g2l = vec![u32::MAX; n];
-            for (i, &v) in verts.iter().enumerate() {
+            for (i, &v) in re.verts.iter().enumerate() {
                 g2l[v as usize] = i as u32;
             }
-            let mut local = Graph::new(verts.len());
-            for &(u, v) in &internal[rank as usize] {
+            let mut local = Graph::new(re.verts.len());
+            for &(u, v) in &re.internal {
                 local.add_edge(g2l[u as usize], g2l[v as usize]);
             }
             // per-rank deterministic RNG substream
@@ -207,14 +209,14 @@ impl Filter for ParallelRandomWalkFilter {
 
             let mut kept: Vec<Edge> = edges
                 .into_iter()
-                .map(|(u, v)| (verts[u as usize], verts[v as usize]))
+                .map(|(u, v)| (re.verts[u as usize], re.verts[v as usize]))
                 .map(|(u, v)| (u.min(v), u.max(v)))
                 .collect();
 
             // border edges: one deterministic coin flip per edge; only the
             // lower-id part records it, so no duplicates arise
             let mut flips = 0u64;
-            for &(u, v) in &border.per_part[rank as usize] {
+            for &(u, v) in &re.border {
                 flips += 1;
                 let owner = part.part(u).min(part.part(v));
                 if owner == rank && border_coin(seed, u, v) {
@@ -222,17 +224,22 @@ impl Filter for ParallelRandomWalkFilter {
                 }
             }
             ctx.compute(flips);
-            kept
+            (kept, re.border.len())
         });
 
-        let all: Vec<Edge> = result.outputs.into_iter().flatten().collect();
+        let mut all: Vec<Edge> = Vec::new();
+        let mut border_double = 0usize;
+        for (kept, nborder) in result.outputs {
+            all.extend(kept);
+            border_double += nborder;
+        }
         let (graph, dups) = assemble(n, all);
         FilterOutput {
             stats: FilterStats {
                 nranks: self.nranks,
                 original_edges: g.m(),
                 retained_edges: graph.m(),
-                border_edges: border.all.len(),
+                border_edges: border_double / 2,
                 duplicate_border_edges: dups,
                 sim_makespan: result.sim_makespan,
                 sim_times: result.sim_times,

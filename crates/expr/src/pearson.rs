@@ -36,32 +36,148 @@ pub struct CorrelationNetwork {
     pub weights: Vec<(Edge, f64)>,
 }
 
+/// Gene-block width of the tiled parallel kernel. 128 standardized rows of
+/// a typical (≤ 32-sample) array fit comfortably in L2, so a 128×128 tile
+/// streams each row once per tile instead of once per pair.
+const DEFAULT_TILE: usize = 128;
+
+/// Retained `(edge, ρ)` entries of one gene×gene tile, sorted by edge.
+type TileChunk = Vec<(Edge, f64)>;
+
+/// `ρ` of the standardized rows `i` and `j` — the **single** dot-product
+/// expression shared by the sequential and tiled paths, so both produce
+/// bit-identical coefficients.
+#[inline]
+fn rho_of(z: &ExpressionMatrix, i: usize, j: usize, inv: f64) -> f64 {
+    z.row(i)
+        .iter()
+        .zip(z.row(j))
+        .map(|(a, b)| a * b)
+        .sum::<f64>()
+        * inv
+}
+
+/// Row-block index `bi` of the `t`-th tile when the upper-triangular tile
+/// pairs `(bi, bj)`, `bj ≥ bi`, are enumerated lexicographically.
+#[inline]
+fn tile_coords(t: usize, nblocks: usize) -> (usize, usize) {
+    let mut bi = 0usize;
+    let mut offset = 0usize;
+    while offset + (nblocks - bi) <= t {
+        offset += nblocks - bi;
+        bi += 1;
+    }
+    (bi, bi + (t - offset))
+}
+
+/// First tile index of row-block `bi` in the lexicographic enumeration.
+#[inline]
+fn tile_row_offset(bi: usize, nblocks: usize) -> usize {
+    bi * (2 * nblocks - bi + 1) / 2
+}
+
 impl CorrelationNetwork {
     /// Build the network from an expression matrix. All `O(genes²)` pairs
-    /// are evaluated in parallel (rayon); a pair becomes an edge iff it
-    /// passes both thresholds.
+    /// are evaluated by the blocked parallel kernel
+    /// ([`CorrelationNetwork::from_expression_tiled`] at the default tile
+    /// width); a pair becomes an edge iff it passes both thresholds.
     pub fn from_expression(m: &ExpressionMatrix, params: NetworkParams) -> Self {
+        Self::from_expression_tiled(m, params, DEFAULT_TILE)
+    }
+
+    /// Sequential reference implementation: a plain `i < j` double loop in
+    /// canonical edge order. This is the differential-testing oracle — the
+    /// tiled parallel kernel must reproduce its output **bit-identically**
+    /// (same edge list, same order, same `ρ` values) for every tile width
+    /// and thread count.
+    pub fn from_expression_seq(m: &ExpressionMatrix, params: NetworkParams) -> Self {
         let z = m.standardized();
         let genes = m.genes();
         let samples = m.samples();
         let inv = 1.0 / samples as f64;
+        let mut weights: Vec<(Edge, f64)> = Vec::new();
+        for i in 0..genes {
+            for j in (i + 1)..genes {
+                let rho = rho_of(&z, i, j, inv);
+                if rho >= params.min_rho && pearson_p_value(rho, samples) <= params.max_p {
+                    weights.push(((i as u32, j as u32), rho));
+                }
+            }
+        }
+        Self::from_sorted_weights(genes, weights)
+    }
 
-        let mut weights: Vec<(Edge, f64)> = (0..genes)
+    /// Blocked parallel kernel with an explicit `tile` width (exposed so
+    /// tests can sweep awkward widths; use
+    /// [`CorrelationNetwork::from_expression`] for the tuned default).
+    ///
+    /// The gene×gene upper triangle is cut into `tile`×`tile` blocks.
+    /// Tiles are evaluated in parallel — each producing a chunk already
+    /// sorted by canonical edge — and the chunks are then merged with a
+    /// cursor walk per row-block (tiles of one row-block cover disjoint,
+    /// ascending column ranges, so the merge is a linear scan, not a
+    /// sort). The merged output is deterministic and identical to
+    /// [`CorrelationNetwork::from_expression_seq`] regardless of thread
+    /// count.
+    pub fn from_expression_tiled(m: &ExpressionMatrix, params: NetworkParams, tile: usize) -> Self {
+        assert!(tile > 0, "tile width must be positive");
+        let z = m.standardized();
+        let genes = m.genes();
+        let samples = m.samples();
+        let inv = 1.0 / samples as f64;
+        let nblocks = genes.div_ceil(tile);
+        let ntiles = nblocks * (nblocks + 1) / 2;
+
+        // phase 1: evaluate tiles in parallel, each chunk sorted by edge
+        let chunks: Vec<TileChunk> = (0..ntiles)
             .into_par_iter()
-            .flat_map_iter(|i| {
-                let ri = z.row(i);
-                let z = &z;
-                (i + 1..genes).filter_map(move |j| {
-                    let rho = ri.iter().zip(z.row(j)).map(|(a, b)| a * b).sum::<f64>() * inv;
-                    if rho >= params.min_rho && pearson_p_value(rho, samples) <= params.max_p {
-                        Some(((i as u32, j as u32), rho))
-                    } else {
-                        None
+            .map(|t| {
+                let (bi, bj) = tile_coords(t, nblocks);
+                let rows = bi * tile..((bi + 1) * tile).min(genes);
+                let cols_end = ((bj + 1) * tile).min(genes);
+                let mut chunk = TileChunk::new();
+                for i in rows {
+                    let cols_start = (bj * tile).max(i + 1);
+                    for j in cols_start..cols_end {
+                        let rho = rho_of(&z, i, j, inv);
+                        if rho >= params.min_rho && pearson_p_value(rho, samples) <= params.max_p {
+                            chunk.push(((i as u32, j as u32), rho));
+                        }
                     }
-                })
+                }
+                chunk
             })
             .collect();
-        weights.sort_unstable_by_key(|a| a.0);
+
+        // phase 2: merge each row-block's chunks (disjoint ascending
+        // column ranges per row) with cursors — in parallel per row-block
+        let merged: Vec<TileChunk> = (0..nblocks)
+            .into_par_iter()
+            .map(|bi| {
+                let row_tiles = &chunks
+                    [tile_row_offset(bi, nblocks)..tile_row_offset(bi, nblocks) + (nblocks - bi)];
+                let mut cursors = vec![0usize; row_tiles.len()];
+                let mut out = TileChunk::with_capacity(row_tiles.iter().map(Vec::len).sum());
+                for i in (bi * tile) as u32..(((bi + 1) * tile).min(genes)) as u32 {
+                    for (k, t) in row_tiles.iter().enumerate() {
+                        let c = &mut cursors[k];
+                        while *c < t.len() && t[*c].0 .0 == i {
+                            out.push(t[*c]);
+                            *c += 1;
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let weights: Vec<(Edge, f64)> = merged.into_iter().flatten().collect();
+        Self::from_sorted_weights(genes, weights)
+    }
+
+    /// Assemble the network from an already-sorted weight list.
+    fn from_sorted_weights(genes: usize, weights: Vec<(Edge, f64)>) -> Self {
+        debug_assert!(weights.windows(2).all(|w| w[0].0 < w[1].0));
         let edges: Vec<Edge> = weights.iter().map(|&(e, _)| e).collect();
         CorrelationNetwork {
             graph: Graph::from_edges(genes, &edges),
@@ -300,6 +416,91 @@ mod tests {
         );
         let net2 = CorrelationNetwork::from_expression(&arr2.matrix, NetworkParams::default());
         assert!(net2.graph.m() < net.graph.m());
+    }
+
+    #[test]
+    fn tiled_kernel_matches_sequential_reference_bitwise() {
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 301, // deliberately not a multiple of any tile width
+                samples: 12,
+                modules: 6,
+                module_size: 9,
+                loading_sq: 0.97,
+            },
+            17,
+        );
+        let params = NetworkParams {
+            min_rho: 0.8,
+            max_p: 0.01,
+        };
+        let seq = CorrelationNetwork::from_expression_seq(&arr.matrix, params);
+        assert!(seq.graph.m() > 0, "reference network must be non-trivial");
+        for tile in [1, 3, 37, 128, 301, 1000] {
+            let par = CorrelationNetwork::from_expression_tiled(&arr.matrix, params, tile);
+            assert_eq!(
+                par.weights.len(),
+                seq.weights.len(),
+                "tile={tile}: edge count drifted"
+            );
+            for (a, b) in par.weights.iter().zip(&seq.weights) {
+                assert_eq!(a.0, b.0, "tile={tile}: edge order drifted");
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "tile={tile}: ρ not bit-identical"
+                );
+            }
+            assert!(par.graph.same_edges(&seq.graph));
+        }
+    }
+
+    #[test]
+    fn default_entry_point_is_the_tiled_kernel_output() {
+        let arr = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 150,
+                samples: 10,
+                modules: 3,
+                module_size: 8,
+                loading_sq: 0.98,
+            },
+            23,
+        );
+        let a = CorrelationNetwork::from_expression(&arr.matrix, NetworkParams::default());
+        let b = CorrelationNetwork::from_expression_seq(&arr.matrix, NetworkParams::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn degenerate_matrices_produce_empty_networks() {
+        for (genes, samples) in [(0usize, 0usize), (0, 5), (1, 8), (2, 0)] {
+            let m = crate::matrix::ExpressionMatrix::zeros(genes, samples);
+            let net = CorrelationNetwork::from_expression(&m, NetworkParams::default());
+            assert_eq!(net.graph.n(), genes);
+            assert_eq!(net.graph.m(), 0, "genes={genes} samples={samples}");
+            let seq = CorrelationNetwork::from_expression_seq(&m, NetworkParams::default());
+            assert_eq!(net.weights, seq.weights);
+        }
+    }
+
+    #[test]
+    fn tile_coords_roundtrip() {
+        for nblocks in 1usize..9 {
+            let mut t = 0usize;
+            for bi in 0..nblocks {
+                assert_eq!(
+                    tile_row_offset(bi, nblocks),
+                    t,
+                    "offset bi={bi} nb={nblocks}"
+                );
+                for bj in bi..nblocks {
+                    assert_eq!(tile_coords(t, nblocks), (bi, bj), "nb={nblocks}");
+                    t += 1;
+                }
+            }
+            assert_eq!(t, nblocks * (nblocks + 1) / 2);
+        }
     }
 
     #[test]

@@ -142,16 +142,23 @@ impl DatasetPreset {
         self.build_with(self.params())
     }
 
-    /// Build a proportionally scaled-down variant (for tests): `frac` of
-    /// the genes and modules.
-    pub fn build_scaled(&self, frac: f64) -> Dataset {
+    /// Generation parameters scaled to `frac` of the genes and modules —
+    /// the parameter set [`DatasetPreset::build_scaled`] builds from,
+    /// exposed so benchmarks can time individual pipeline stages on the
+    /// same pinned inputs.
+    pub fn scaled_params(&self, frac: f64) -> SyntheticParams {
         let p = self.params();
-        let scaled = SyntheticParams {
+        SyntheticParams {
             genes: ((p.genes as f64 * frac) as usize).max(40),
             modules: ((p.modules as f64 * frac) as usize).max(2),
             ..p
-        };
-        self.build_with(scaled)
+        }
+    }
+
+    /// Build a proportionally scaled-down variant (for tests): `frac` of
+    /// the genes and modules.
+    pub fn build_scaled(&self, frac: f64) -> Dataset {
+        self.build_with(self.scaled_params(frac))
     }
 
     fn build_with(&self, params: SyntheticParams) -> Dataset {

@@ -60,15 +60,35 @@ impl Graph {
     }
 
     /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()` (see [`Graph::neighbors`]).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.neighbors(v).len()
     }
 
     /// Sorted neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if `v >= self.n()`. Use
+    /// [`Graph::try_neighbors`] for the non-panicking variant.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        assert!(
+            (v as usize) < self.n(),
+            "vertex {v} out of range for graph with n={}",
+            self.n()
+        );
         &self.adj[v as usize]
+    }
+
+    /// Sorted neighbours of `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn try_neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.adj.get(v as usize).map(Vec::as_slice)
     }
 
     /// Whether the undirected edge `(u, v)` is present.
@@ -236,17 +256,41 @@ impl Csr {
     }
 
     /// Sorted neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if `v >= self.n()`. Use
+    /// [`Csr::try_neighbors`] for the non-panicking variant.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        assert!(
+            (v as usize) < self.n(),
+            "vertex {v} out of range for CSR with n={}",
+            self.n()
+        );
         let s = self.xadj[v as usize] as usize;
         let e = self.xadj[v as usize + 1] as usize;
         &self.adjncy[s..e]
     }
 
+    /// Sorted neighbours of `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn try_neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
+        if (v as usize) < self.n() {
+            Some(&self.adjncy[self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize])
+        } else {
+            None
+        }
+    }
+
     /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()` (see [`Csr::neighbors`]).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
+        self.neighbors(v).len()
     }
 
     /// Whether edge `(u, v)` is present (binary search on the shorter list).
@@ -355,6 +399,39 @@ mod tests {
     fn density_of_triangle_is_one() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for graph")]
+    fn neighbors_out_of_range_panics_with_message() {
+        let _ = path4().neighbors(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for graph")]
+    fn neighbors_on_empty_graph_panics_with_message() {
+        let _ = Graph::new(0).neighbors(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for CSR")]
+    fn csr_neighbors_out_of_range_panics_with_message() {
+        let _ = path4().to_csr().neighbors(9);
+    }
+
+    #[test]
+    fn try_neighbors_is_total() {
+        let g = path4();
+        assert_eq!(g.try_neighbors(1), Some(&[0u32, 2][..]));
+        assert_eq!(g.try_neighbors(4), None);
+        assert_eq!(Graph::new(0).try_neighbors(0), None);
+        let c = g.to_csr();
+        assert_eq!(c.try_neighbors(1), Some(&[0u32, 2][..]));
+        assert_eq!(c.try_neighbors(4), None);
+        // single-vertex graph: in range, empty list
+        let one = Graph::new(1);
+        assert_eq!(one.try_neighbors(0), Some(&[][..]));
+        assert_eq!(one.to_csr().try_neighbors(0), Some(&[][..]));
     }
 
     #[test]

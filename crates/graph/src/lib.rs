@@ -29,7 +29,7 @@ pub mod partition;
 
 pub use crate::graph::{Csr, Edge, Graph, VertexId};
 pub use crate::ordering::{apply_ordering, ordering_permutation, OrderingKind};
-pub use crate::partition::{BorderEdges, Partition, PartitionKind};
+pub use crate::partition::{BorderEdges, Partition, PartitionKind, RankEdges};
 
 /// Normalise an edge so the smaller endpoint comes first.
 ///

@@ -124,6 +124,63 @@ impl Partition {
     pub fn border_count(&self, g: &Graph) -> usize {
         g.edges().filter(|&(u, v)| self.is_border(u, v)).count()
     }
+
+    /// Derive one rank's edge view **locally**, by scanning only that
+    /// rank's adjacency lists — the per-rank replacement for the global
+    /// [`Partition::split_edges`] pass, so each rank of a distributed run
+    /// can do its own share of the `O(m)` edge classification in parallel.
+    ///
+    /// Ordering guarantees (relied on by the deterministic filters):
+    ///
+    /// * `internal` is in canonical `(min, max)` lexicographic order —
+    ///   identical to this rank's slice of [`Partition::split_edges`];
+    /// * `border` is ordered by (local endpoint, foreign endpoint), which
+    ///   for any fixed foreign vertex lists the local endpoints in
+    ///   ascending order — the order the border-rule scans consume.
+    ///
+    /// `scan_ops` counts the adjacency entries visited (one abstract op
+    /// per entry plus one per vertex), the unit charged to the simulated
+    /// cost model for this classification.
+    pub fn rank_edges(&self, g: &Graph, rank: u32) -> RankEdges {
+        let verts = self.vertices_of(rank);
+        let mut internal = Vec::new();
+        let mut border = Vec::new();
+        let mut scan_ops = 0u64;
+        for &v in &verts {
+            scan_ops += g.degree(v) as u64 + 1;
+            for &w in g.neighbors(v) {
+                if self.part(w) == rank {
+                    if v < w {
+                        internal.push((v, w));
+                    }
+                } else {
+                    border.push((v.min(w), v.max(w)));
+                }
+            }
+        }
+        RankEdges {
+            verts,
+            internal,
+            border,
+            scan_ops,
+        }
+    }
+}
+
+/// One rank's locally-derived view of the partitioned edge set
+/// (see [`Partition::rank_edges`]).
+#[derive(Clone, Debug, Default)]
+pub struct RankEdges {
+    /// The rank's vertices, ascending.
+    pub verts: Vec<VertexId>,
+    /// Edges with both endpoints in the rank, canonical, ascending.
+    pub internal: Vec<Edge>,
+    /// Edges with exactly one endpoint in the rank, canonical form,
+    /// ordered by (local endpoint, foreign endpoint).
+    pub border: Vec<Edge>,
+    /// Adjacency entries scanned while classifying (abstract cost-model
+    /// ops).
+    pub scan_ops: u64,
 }
 
 /// Grow `nparts` roughly equal BFS regions. Components are consumed in
@@ -229,6 +286,68 @@ mod tests {
                 .filter(|es| es.contains(&(u, v)))
                 .count();
             assert_eq!(hits, 2);
+        }
+    }
+
+    #[test]
+    fn rank_edges_agrees_with_global_split() {
+        let g = gnm(80, 240, 7);
+        for kind in [
+            PartitionKind::Block,
+            PartitionKind::RoundRobin,
+            PartitionKind::BfsBlock,
+        ] {
+            for np in [1usize, 3, 5, 8] {
+                let p = Partition::new(&g, np, kind);
+                let (internal, border) = p.split_edges(&g);
+                let mut border_double = 0usize;
+                for rank in 0..np as u32 {
+                    let re = p.rank_edges(&g, rank);
+                    assert_eq!(re.verts, p.vertices_of(rank));
+                    // internal order matches the global pass exactly
+                    assert_eq!(
+                        re.internal, internal[rank as usize],
+                        "{kind:?} np={np} r={rank}"
+                    );
+                    // border sets match (order differs by design)
+                    let mut a = re.border.clone();
+                    let mut b = border.per_part[rank as usize].clone();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{kind:?} np={np} r={rank}");
+                    assert!(re.scan_ops > 0 || re.verts.is_empty());
+                    border_double += re.border.len();
+                }
+                assert_eq!(border_double, 2 * border.all.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_edges_border_grouped_ascending_per_foreign() {
+        // for any fixed foreign vertex, local endpoints appear ascending
+        let g = gnm(60, 200, 9);
+        let p = Partition::new(&g, 4, PartitionKind::RoundRobin);
+        for rank in 0..4u32 {
+            let re = p.rank_edges(&g, rank);
+            let mut last: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+            for &(u, v) in &re.border {
+                let (local, foreign) = if p.part(u) == rank { (u, v) } else { (v, u) };
+                if let Some(&prev) = last.get(&foreign) {
+                    assert!(prev < local, "locals not ascending for foreign {foreign}");
+                }
+                last.insert(foreign, local);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_edges_on_empty_graph() {
+        let g = Graph::new(0);
+        let p = Partition::new(&g, 3, PartitionKind::Block);
+        for rank in 0..3 {
+            let re = p.rank_edges(&g, rank);
+            assert!(re.verts.is_empty() && re.internal.is_empty() && re.border.is_empty());
         }
     }
 

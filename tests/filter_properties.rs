@@ -92,4 +92,71 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn threaded_filters_subgraph_for_any_thread_count(
+        g in arb_graph(),
+        p in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        // the rank count is the OS thread count of the real execution —
+        // draw it, and require the subgraph + determinism invariants to
+        // hold regardless
+        let filters: Vec<Box<dyn Filter>> = vec![
+            Box::new(ParallelChordalNoCommFilter::new(p, PartitionKind::Block)),
+            Box::new(ParallelChordalNoCommFilter::new(p, PartitionKind::RoundRobin)),
+            Box::new(ParallelChordalCommFilter::new(p, PartitionKind::Block)),
+            Box::new(ParallelRandomWalkFilter::new(p, PartitionKind::RoundRobin)),
+        ];
+        for f in filters {
+            let out = f.filter(&g, seed);
+            prop_assert_eq!(out.graph.n(), g.n(), "{} changed vertex count", f.name());
+            for (u, v) in out.graph.edges() {
+                prop_assert!(g.has_edge(u, v), "{} invented edge ({u},{v})", f.name());
+            }
+            prop_assert!(
+                out.stats.duplicate_border_edges <= out.stats.border_edges,
+                "{} violated the ≤ b duplicate bound", f.name()
+            );
+            let again = f.filter(&g, seed);
+            prop_assert!(out.graph.same_edges(&again.graph), "{} nondeterministic", f.name());
+            prop_assert_eq!(out.stats.sim_times, again.stats.sim_times,
+                "{} has schedule-dependent clocks", f.name());
+        }
+    }
+
+    #[test]
+    fn threaded_single_rank_chordal_stays_chordal(g in arb_graph(), kind_ix in 0usize..3) {
+        // "DSW output is chordal" through the threaded path: with one
+        // rank there are no border edges, so the no-comm output is the
+        // rank's DSW result itself — for every partition strategy
+        let kind = [PartitionKind::Block, PartitionKind::RoundRobin, PartitionKind::BfsBlock][kind_ix];
+        let out = ParallelChordalNoCommFilter::new(1, kind).filter(&g, 0);
+        prop_assert!(casbn::chordal::is_chordal(&out.graph));
+    }
+}
+
+/// Empty-graph and single-vertex inputs must flow through every filter
+/// at every rank count without panicking (regression tests for the
+/// out-of-range `neighbors` panic class).
+#[test]
+fn degenerate_inputs_through_every_filter() {
+    let degenerate = [
+        Graph::new(0),
+        Graph::new(1),
+        Graph::from_edges(2, &[(0, 1)]),
+    ];
+    for g in &degenerate {
+        for p in [1usize, 2, 4] {
+            for f in all_filters(p) {
+                let out = f.filter(g, 1);
+                assert_eq!(out.graph.n(), g.n(), "{} changed vertex count", f.name());
+                assert!(out.graph.m() <= g.m(), "{} invented edges", f.name());
+                for (u, v) in out.graph.edges() {
+                    assert!(g.has_edge(u, v), "{} invented edge ({u},{v})", f.name());
+                }
+                assert_eq!(out.stats.original_edges, g.m());
+            }
+        }
+    }
 }
