@@ -17,10 +17,13 @@
 //!   repeats. Wall time varies across hosts, so [`diff`] reports wall
 //!   regressions as warnings unless explicitly asked to gate on them.
 
-use casbn_core::{Filter, ParallelChordalNoCommFilter, SequentialChordalFilter};
+use casbn_core::{
+    Filter, IncrementalChordal, ParallelChordalNoCommFilter, SequentialChordalFilter,
+};
 use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
-use casbn_graph::{Graph, PartitionKind};
+use casbn_graph::{DeltaGraph, EdgeDelta, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, McodeParams};
+use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -159,6 +162,8 @@ const BENCH_SEED: u64 = 0;
 /// | `nocomm-yng-p1` | no-comm parallel chordal filter, 1 rank |
 /// | `nocomm-yng-p4` | no-comm parallel chordal filter, 4 ranks |
 /// | `nocomm-yng-p8` | no-comm parallel chordal filter, 8 ranks |
+/// | `stream-yng` | streaming batch ingest: full window pipeline over the YNG replay (sim = online-correlation ingest cost) |
+/// | `inc-chordal-yng` | incremental chordal delta maintenance alone over the same delta stream |
 pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     let mut results = Vec::new();
 
@@ -219,6 +224,53 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
             checksum: out.stats.retained_edges as u64,
         });
     }
+
+    // Streaming workloads: the YNG preset's native 8 arrays replayed in
+    // 4 windows of 2 (the CI smoke shape). `stream-yng` times the whole
+    // per-window pipeline; its sim metric is the deterministic online-
+    // correlation ingest cost and its checksum the driver's window-
+    // metric checksum.
+    let replay = synthesize_replay(DatasetPreset::Yng, scale, None);
+    let cfg = StreamConfig::default();
+    let (wall, summary) = timed(repeats, || StreamDriver::run(&replay, cfg));
+    results.push(WorkloadResult {
+        name: "stream-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: summary.windows.iter().map(|w| w.sim_ingest).sum(),
+        checksum: summary.checksum,
+    });
+
+    // `inc-chordal-yng` isolates the incremental chordal maintenance:
+    // the delta stream is precomputed outside the timed region, then the
+    // maintainer replays it. Its sim metric is what the ≥5×-below-rebuild
+    // acceptance bound is recorded against (see the casbn_stream
+    // perf_ratio test).
+    let deltas: Vec<EdgeDelta> = {
+        let mut online = OnlineCorrelation::new(replay.genes(), cfg.network);
+        let mut out = Vec::new();
+        let mut lo = 0;
+        while lo < replay.samples() {
+            let hi = (lo + cfg.batch).min(replay.samples());
+            out.push(online.ingest(&replay.columns(lo, hi)));
+            lo = hi;
+        }
+        out
+    };
+    let (wall, (sim, retained)) = timed(repeats, || {
+        let mut net = DeltaGraph::new(replay.genes());
+        let mut inc = IncrementalChordal::new(replay.genes());
+        for d in &deltas {
+            net.apply(d);
+            inc.apply(d, &net);
+        }
+        (inc.sim_seconds(), inc.retained_edges())
+    });
+    results.push(WorkloadResult {
+        name: "inc-chordal-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: sim,
+        checksum: retained as u64,
+    });
 
     PerfSuite { scale, results }
 }
@@ -342,6 +394,8 @@ mod tests {
             "nocomm-yng-p1",
             "nocomm-yng-p4",
             "nocomm-yng-p8",
+            "stream-yng",
+            "inc-chordal-yng",
         ] {
             assert!(names.contains(&expected), "missing workload {expected}");
         }

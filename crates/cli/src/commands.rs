@@ -6,10 +6,11 @@ use casbn_core::{
     Filter, ForestFireFilter, ParallelChordalCommFilter, ParallelChordalNoCommFilter,
     ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter, SequentialChordalFilter,
 };
-use casbn_expr::DatasetPreset;
+use casbn_expr::{DatasetPreset, NetworkParams};
 use casbn_graph::io::{read_edge_list, write_edge_list};
 use casbn_graph::{Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, McodeParams};
+use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
 use std::fs::File;
 
 /// Help text. Kept in sync with the flags each subcommand actually parses;
@@ -27,15 +28,20 @@ USAGE:
   casbn compare  --original FILE --filtered FILE
   casbn bench    [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
                  [--threshold F] [--wall]
+  casbn stream   (--preset P [--scale F] [--samples N] | --in FILE)
+                 [--batch N] [--min-rho F] [--min-score F] [--json]
+                 [--out FILE] [--replay-out FILE] [--expect-checksum N]
   casbn help
 
 FLAGS:
   --preset     dataset preset calibrated to the paper's four networks
   --scale      dataset size fraction, 1.0 = full paper scale (default 1.0;
                `bench` defaults to 0.15)
-  --in         input network as a whitespace `u v` edge list
+  --in         input network as a whitespace `u v` edge list (for
+               `stream`: a sample-major replay file)
   --out        output edge-list file (default: stdout); for `bench`, the
-               JSON baseline to write/merge (e.g. BENCH_pipeline.json)
+               JSON baseline to write/merge (e.g. BENCH_pipeline.json);
+               for `stream`, the final chordal network (default: none)
   --algo       sampling filter (see ALGO below)
   --ranks      simulated processors for parallel filters (default 1)
   --partition  vertex distribution: block | rr (round-robin) | bfs (default bfs)
@@ -52,6 +58,15 @@ FLAGS:
   --threshold  `bench` relative regression threshold (default 0.5 = +50%)
   --wall       make `bench` gate on wall-clock regressions too (off by
                default: wall time is machine-dependent)
+  --samples    `stream` sample count of a synthesized replay (default:
+               the preset's native array count)
+  --batch      `stream` samples ingested per window (default 2)
+  --min-rho    `stream` correlation retention threshold (default 0.95)
+  --replay-out write the synthesized replay to FILE (sample-major rows,
+               re-playable with `casbn stream --in FILE`)
+  --expect-checksum
+               fail (exit 1) unless the run's deterministic checksum
+               matches N — the CI streaming smoke gate
 
 ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
       forestfire | randomnode | randomedge
@@ -63,9 +78,10 @@ pub const BENCH_USAGE: &str = "\
 casbn bench — pinned-seed perf baseline of the pipeline hot paths
 
 Runs the named workloads (Pearson network build on the YNG and CRE
-presets, sequential DSW, MCODE, and the no-comm parallel chordal filter
-at 1/4/8 ranks) at a pinned scale and seed, then optionally diffs the
-measurements against a committed baseline JSON.
+presets, sequential DSW, MCODE, the no-comm parallel chordal filter at
+1/4/8 ranks, and the streaming pipeline: YNG replay batch ingest plus
+incremental chordal delta maintenance) at a pinned scale and seed, then
+optionally diffs the measurements against a committed baseline JSON.
 
 USAGE:
   casbn bench [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
@@ -80,6 +96,47 @@ FLAGS:
   --threshold  relative regression threshold (default 0.5 = +50%)
   --wall       gate on wall-clock regressions too (default: only the
                machine-independent simulated times and output checksums)
+";
+
+/// `casbn stream --help` text (also asserted verbatim by the CLI snapshot
+/// tests).
+pub const STREAM_USAGE: &str = "\
+casbn stream — replay a microarray sample stream through the incremental
+pipeline
+
+Ingests samples in --batch N windows: each window updates the online
+Welford/co-moment correlation accumulators, applies the resulting edge
+deltas to the CSR-backed delta graph, maintains the chordal subgraph
+incrementally (admissibility-tested inserts, amortized regional DSW
+rebuilds), re-clusters with MCODE, and reports per-window churn, cluster
+stability and simulated/wall latency. A deterministic checksum over the
+integer window metrics ends the table (in --json mode it is a field of
+the document, which stays pipe-clean for `jq`).
+
+USAGE:
+  casbn stream (--preset yng|mid|unt|cre [--scale F] [--samples N] | --in FILE)
+               [--batch N] [--min-rho F] [--min-score F] [--json]
+               [--out FILE] [--replay-out FILE] [--expect-checksum N]
+
+FLAGS:
+  --preset     synthesize the replay from a dataset preset's calibrated
+               generator (deterministic per preset/scale/samples)
+  --scale      dataset size fraction of the synthesized replay (default 1.0)
+  --samples    sample count of the synthesized replay (default: the
+               preset's native array count)
+  --in         read the replay from FILE instead (one sample per line,
+               whitespace-separated expression values, `#` comments)
+  --batch      samples ingested per window (default 2)
+  --min-rho    correlation retention threshold (default 0.95; the p-value
+               cut stays at the paper's 0.0005)
+  --min-score  MCODE minimum cluster score (default 3.0)
+  --json       emit the run summary as JSON instead of a table
+  --out        write the final chordal network as an edge list
+  --replay-out write the synthesized replay to FILE and continue
+  --expect-checksum
+               exit 1 unless the deterministic checksum matches N
+
+Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
 ";
 
 fn fail(msg: &str) -> i32 {
@@ -323,6 +380,199 @@ pub fn bench(argv: &[String]) -> i32 {
     match run() {
         Err(e) => fail(&e),
         Ok(()) if regressed => 1,
+        Ok(()) => 0,
+    }
+}
+
+/// `casbn stream` — replay a sample stream through the incremental
+/// pipeline (online correlation → delta graph → incremental chordal →
+/// MCODE). Exit codes: 0 ok, 1 checksum mismatch, 2 usage error.
+pub fn stream(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{STREAM_USAGE}");
+        return 0;
+    }
+    let mut checksum_mismatch = false;
+    let mut run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        // a typo'd flag here could silently drop the checksum gate
+        args.reject_unknown(
+            &[
+                "preset",
+                "scale",
+                "samples",
+                "in",
+                "batch",
+                "min-rho",
+                "min-score",
+                "out",
+                "replay-out",
+                "expect-checksum",
+            ],
+            &["json"],
+        )?;
+        let batch: usize = args.get_or("batch", 2)?;
+        let min_rho: f64 = args.get_or("min-rho", NetworkParams::default().min_rho)?;
+        if batch == 0 || !(0.0..=1.0).contains(&min_rho) {
+            return Err("need --batch > 0 and 0 <= --min-rho <= 1".into());
+        }
+
+        // replay source: a file, or a preset-synthesized stream
+        let matrix = match (args.get("in"), args.get("preset")) {
+            (Some(_), Some(_)) => {
+                return Err("--in and --preset are mutually exclusive".into());
+            }
+            (Some(path), None) => {
+                // preset-only knobs must not be silently ignored — a user
+                // who believes they rescaled the replay would pin a
+                // checksum for a different run than they think
+                for flag in ["scale", "samples"] {
+                    if args.get(flag).is_some() {
+                        return Err(format!(
+                            "--{flag} only applies to --preset replays, not --in files"
+                        ));
+                    }
+                }
+                let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+                read_replay(f).map_err(|e| format!("parse {path}: {e}"))?
+            }
+            (None, Some(preset)) => {
+                let preset = match preset {
+                    "yng" => DatasetPreset::Yng,
+                    "mid" => DatasetPreset::Mid,
+                    "unt" => DatasetPreset::Unt,
+                    "cre" => DatasetPreset::Cre,
+                    other => return Err(format!("unknown preset {other}")),
+                };
+                let scale: f64 = args.get_or("scale", 1.0)?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err("need --scale > 0".into());
+                }
+                let samples = match args.get("samples") {
+                    Some(s) => Some(
+                        s.parse::<usize>()
+                            .map_err(|_| format!("invalid --samples: {s}"))?,
+                    ),
+                    None => None,
+                };
+                synthesize_replay(preset, scale, samples)
+            }
+            (None, None) => return Err("need --in FILE or --preset".into()),
+        };
+        if let Some(path) = args.get("replay-out") {
+            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            write_replay(
+                &matrix,
+                f,
+                Some(&format!(
+                    "replay: {} genes x {} samples",
+                    matrix.genes(),
+                    matrix.samples()
+                )),
+            )
+            .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote replay {path}");
+        }
+
+        let cfg = StreamConfig {
+            batch,
+            network: NetworkParams {
+                min_rho,
+                ..Default::default()
+            },
+            mcode: McodeParams {
+                min_score: args.get_or("min-score", 3.0)?,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        eprintln!(
+            "streaming {} genes x {} samples in windows of {batch}…",
+            matrix.genes(),
+            matrix.samples()
+        );
+
+        // drive window by window so the final chordal graph stays
+        // available for --out
+        let mut driver = StreamDriver::new(matrix.genes(), cfg);
+        let mut lo = 0usize;
+        while lo < matrix.samples() {
+            let hi = (lo + batch).min(matrix.samples());
+            driver.ingest_window(&matrix.columns(lo, hi));
+            lo = hi;
+        }
+        let chordal = driver.chordal().clone();
+        let summary = driver.finish();
+
+        if args.has("json") {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+            );
+        } else {
+            println!(
+                "{:<4} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9} {:>10} {:>11} {:>12} {:>9}",
+                "win",
+                "samples",
+                "+edges",
+                "-edges",
+                "net",
+                "chordal",
+                "clusters",
+                "stability",
+                "ingest ms",
+                "chordal ms",
+                "wall ms"
+            );
+            for w in &summary.windows {
+                println!(
+                    "{:<4} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>11.3} {:>12.4} {:>9.3}",
+                    w.window,
+                    w.samples_seen,
+                    w.inserts,
+                    w.removes,
+                    w.network_edges,
+                    w.chordal_edges,
+                    w.clusters,
+                    w.stability,
+                    w.sim_ingest * 1e3,
+                    w.sim_chordal * 1e3,
+                    w.wall.as_secs_f64() * 1e3,
+                );
+            }
+            println!(
+                "total churn {} over {} windows",
+                summary.total_churn(),
+                summary.windows.len()
+            );
+            // in JSON mode the checksum is a field of the document — a
+            // trailer there would break `… --json | jq`
+            println!("checksum {}", summary.checksum);
+        }
+
+        if let Some(path) = args.get("out") {
+            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            write_edge_list(&chordal, f, Some("incremental chordal subgraph"))
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        if let Some(expect) = args.get("expect-checksum") {
+            let expect: u64 = expect
+                .parse()
+                .map_err(|_| format!("invalid --expect-checksum: {expect}"))?;
+            if expect != summary.checksum {
+                eprintln!(
+                    "checksum mismatch: expected {expect}, got {}",
+                    summary.checksum
+                );
+                checksum_mismatch = true;
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Err(e) => fail(&e),
+        Ok(()) if checksum_mismatch => 1,
         Ok(()) => 0,
     }
 }

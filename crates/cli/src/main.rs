@@ -12,6 +12,7 @@ fn main() {
         Some("stats") => commands::stats(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("bench") => commands::bench(&argv[1..]),
+        Some("stream") => commands::stream(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

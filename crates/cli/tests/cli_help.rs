@@ -2,7 +2,7 @@
 //! [`commands::USAGE`], and `USAGE` documents exactly the flags the
 //! subcommands parse.
 
-use casbn_cli::commands::{BENCH_USAGE, USAGE};
+use casbn_cli::commands::{BENCH_USAGE, STREAM_USAGE, USAGE};
 use std::process::Command;
 
 /// Every `--flag` a subcommand reads via `Args` (grep `args.(get|require|
@@ -27,6 +27,11 @@ const PARSED_FLAGS: &[&str] = &[
     "--baseline",
     "--threshold",
     "--wall",
+    "--samples",
+    "--batch",
+    "--min-rho",
+    "--replay-out",
+    "--expect-checksum",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -37,6 +42,21 @@ const BENCH_FLAGS: &[&str] = &[
     "--baseline",
     "--threshold",
     "--wall",
+];
+
+/// The `stream` flags, also documented in the subcommand's own help.
+const STREAM_FLAGS: &[&str] = &[
+    "--preset",
+    "--scale",
+    "--samples",
+    "--in",
+    "--batch",
+    "--min-rho",
+    "--min-score",
+    "--json",
+    "--out",
+    "--replay-out",
+    "--expect-checksum",
 ];
 
 #[test]
@@ -100,6 +120,85 @@ fn bench_usage_documents_every_bench_flag() {
 }
 
 #[test]
+fn stream_help_snapshot_matches_stream_usage_constant() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["stream", "--help"])
+        .output()
+        .expect("run casbn stream --help");
+    assert!(out.status.success(), "stream --help exited nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 help output");
+    assert_eq!(
+        stdout, STREAM_USAGE,
+        "stream help drifted from STREAM_USAGE"
+    );
+}
+
+#[test]
+fn stream_usage_documents_every_stream_flag() {
+    for flag in STREAM_FLAGS {
+        assert!(
+            STREAM_USAGE.contains(flag),
+            "STREAM_USAGE is missing `{flag}`"
+        );
+    }
+}
+
+#[test]
+fn stream_rejects_bad_inputs() {
+    // no source at all
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .arg("stream")
+        .output()
+        .expect("run casbn stream");
+    assert_eq!(out.status.code(), Some(2));
+    // zero batch
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args([
+            "stream", "--preset", "yng", "--scale", "0.01", "--batch", "0",
+        ])
+        .output()
+        .expect("run casbn stream --batch 0");
+    assert_eq!(out.status.code(), Some(2));
+    // typo'd flag must not be silently ignored
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["stream", "--preset", "yng", "--expct-checksum", "1"])
+        .output()
+        .expect("run casbn stream with typo");
+    assert_eq!(out.status.code(), Some(2));
+    // preset-only knobs must be rejected in --in mode, not ignored —
+    // otherwise a user could pin a checksum for a different run than
+    // they believe they configured
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["stream", "--in", "whatever.tsv", "--samples", "4"])
+        .output()
+        .expect("run casbn stream --in with --samples");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--samples only applies"), "got {stderr:?}");
+}
+
+#[test]
+fn stream_checksum_gate_exits_one_on_mismatch() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args([
+            "stream",
+            "--preset",
+            "yng",
+            "--scale",
+            "0.01",
+            "--samples",
+            "4",
+            "--expect-checksum",
+            "1",
+        ])
+        .output()
+        .expect("run casbn stream with wrong checksum");
+    assert_eq!(out.status.code(), Some(1), "mismatch must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum mismatch"));
+}
+
+#[test]
 fn bench_rejects_bad_scale() {
     let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
         .args(["bench", "--scale", "0"])
@@ -111,7 +210,7 @@ fn bench_rejects_bad_scale() {
 #[test]
 fn usage_names_every_subcommand_and_algorithm() {
     for sub in [
-        "generate", "filter", "cluster", "stats", "compare", "bench", "help",
+        "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "help",
     ] {
         assert!(
             USAGE.contains(&format!("casbn {sub}")),

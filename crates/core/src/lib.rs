@@ -22,6 +22,10 @@
 //! * [`ParallelRandomWalkFilter`] — the control filter: per-partition
 //!   random walks (1/d edge choice, |E|/2 selections), border edges kept
 //!   on an unbiased per-edge coin flip.
+//! * [`IncrementalChordal`] — the streaming counterpart of the sequential
+//!   chordal filter: maintains a chordal subgraph of a live
+//!   [`casbn_graph::DeltaGraph`] under edge-delta batches instead of
+//!   re-running DSW from scratch ([`incremental`]).
 //!
 //! Every filter implements [`Filter`] and reports a [`FilterStats`] with
 //! both real wall-clock and the [`casbn_distsim`] simulated makespan, the
@@ -31,6 +35,7 @@ pub mod baselines;
 pub mod chordal_filters;
 pub mod cycle_break;
 pub mod filter;
+pub mod incremental;
 pub mod random_walk;
 
 pub use baselines::{ForestFireFilter, RandomEdgeFilter, RandomNodeFilter};
@@ -39,6 +44,7 @@ pub use chordal_filters::{
 };
 pub use cycle_break::{break_cycles, CycleBreakReport};
 pub use filter::{Filter, FilterOutput, FilterStats};
+pub use incremental::{IncBatchStats, IncrementalChordal};
 pub use random_walk::{ParallelRandomWalkFilter, WalkMode};
 
 use casbn_graph::{apply_ordering, Graph, OrderingKind};

@@ -77,6 +77,26 @@ impl ExpressionMatrix {
         out
     }
 
+    /// The sample columns `lo..hi` as a standalone genes × `(hi - lo)`
+    /// matrix — how the streaming pipeline cuts a replay into ingest
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.samples()`.
+    pub fn columns(&self, lo: usize, hi: usize) -> ExpressionMatrix {
+        assert!(
+            lo <= hi && hi <= self.samples,
+            "column range {lo}..{hi} out of bounds for {} samples",
+            self.samples
+        );
+        let mut out = ExpressionMatrix::zeros(self.genes, hi - lo);
+        for g in 0..self.genes {
+            out.row_mut(g).copy_from_slice(&self.row(g)[lo..hi]);
+        }
+        out
+    }
+
     /// Pearson correlation of genes `a` and `b` (direct formula, used by
     /// tests to cross-check the fast standardised path).
     pub fn pearson(&self, a: usize, b: usize) -> f64 {
@@ -139,6 +159,20 @@ mod tests {
         let m = ExpressionMatrix::from_rows(1, 3, vec![5.0, 5.0, 5.0]);
         let z = m.standardized();
         assert_eq!(z.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn columns_slices_and_bounds_check() {
+        let m = ExpressionMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = m.columns(1, 3);
+        assert_eq!(c.genes(), 2);
+        assert_eq!(c.samples(), 2);
+        assert_eq!(c.row(0), &[2.0, 3.0]);
+        assert_eq!(c.row(1), &[5.0, 6.0]);
+        let empty = m.columns(2, 2);
+        assert_eq!(empty.samples(), 0);
+        assert!(std::panic::catch_unwind(|| m.columns(2, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| m.columns(3, 2)).is_err());
     }
 
     #[test]

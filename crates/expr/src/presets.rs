@@ -144,8 +144,21 @@ impl DatasetPreset {
 
     /// Generation parameters scaled to `frac` of the genes and modules —
     /// the parameter set [`DatasetPreset::build_scaled`] builds from,
-    /// exposed so benchmarks can time individual pipeline stages on the
-    /// same pinned inputs.
+    /// exposed so benchmarks and replay synthesizers can generate the
+    /// same pinned inputs (e.g. `casbn_stream::synthesize_replay`, the
+    /// streaming perf-baseline workloads, and the CI streaming smoke).
+    ///
+    /// The scaling math, pinned by a unit test:
+    ///
+    /// * `genes = max(40, ⌊genes · frac⌋)` — the floor keeps tiny smoke
+    ///   scales above the module machinery's minimum;
+    /// * `modules = max(2, ⌊modules · frac⌋)`;
+    /// * `samples`, `module_size` and `loading_sq` are **unchanged**:
+    ///   scaling shrinks the array, not the statistical regime (sample
+    ///   count is what sets the noise-edge rate, so callers synthesizing
+    ///   longer replay streams override `samples` themselves).
+    ///
+    /// With `frac = 1.0` the result equals [`DatasetPreset::params`].
     pub fn scaled_params(&self, frac: f64) -> SyntheticParams {
         let p = self.params();
         SyntheticParams {
@@ -210,6 +223,36 @@ mod tests {
             (0.35..0.75).contains(&frac),
             "module edge pass rate {frac:.2} out of calibrated band"
         );
+    }
+
+    #[test]
+    fn scaled_params_math_is_pinned() {
+        // the contract replay synthesizers rely on: floor-scaling of
+        // genes and modules, floors at 40 / 2, everything else untouched
+        let p = DatasetPreset::Yng.scaled_params(0.15);
+        assert_eq!(p.genes, 802, "⌊5348 · 0.15⌋");
+        assert_eq!(p.modules, 29, "⌊197 · 0.15⌋");
+        assert_eq!(p.samples, 8, "samples are not scaled");
+        assert_eq!(p.module_size, 10, "module size is not scaled");
+        assert_eq!(p.loading_sq, 0.95, "loading is not scaled");
+
+        let p = DatasetPreset::Cre.scaled_params(0.02);
+        assert_eq!(p.genes, 557, "⌊27896 · 0.02⌋");
+        assert_eq!(p.modules, 10, "⌊510 · 0.02⌋");
+        assert_eq!(p.samples, 9);
+
+        // floors engage at minuscule fractions
+        let p = DatasetPreset::Mid.scaled_params(1e-4);
+        assert_eq!(p.genes, 40);
+        assert_eq!(p.modules, 2);
+
+        // identity at full scale
+        for preset in DatasetPreset::all() {
+            let full = preset.params();
+            let scaled = preset.scaled_params(1.0);
+            assert_eq!(scaled.genes, full.genes);
+            assert_eq!(scaled.modules, full.modules);
+        }
     }
 
     #[test]

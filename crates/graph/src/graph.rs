@@ -243,6 +243,21 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Assemble a CSR directly from per-vertex sorted adjacency lists
+    /// (used by the delta-graph compactor, which merges overlays without
+    /// paying `Graph::add_edge`'s per-edge binary searches).
+    pub(crate) fn from_sorted_adj(adj: &[Vec<VertexId>]) -> Csr {
+        let mut xadj = Vec::with_capacity(adj.len() + 1);
+        let mut adjncy = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        xadj.push(0u32);
+        for nbrs in adj {
+            debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            adjncy.extend_from_slice(nbrs);
+            xadj.push(adjncy.len() as u32);
+        }
+        Csr { xadj, adjncy }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {

@@ -10,6 +10,8 @@
 //!   random ordering.
 //! * [`partition`] — vertex partitioners (contiguous block, round-robin,
 //!   BFS block) and border-edge classification used by the parallel filters.
+//! * [`delta`] — [`EdgeDelta`] batches and the CSR-backed [`DeltaGraph`]
+//!   with epoch compaction, the substrate of the streaming subsystem.
 //! * [`generators`] — seeded synthetic graph generators (G(n,m),
 //!   Barabási–Albert, planted-partition, caveman chains).
 //! * [`algo`] — BFS, connected components, triangles, k-cores, density and
@@ -21,12 +23,14 @@
 
 pub mod algo;
 pub mod centrality;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod ordering;
 pub mod partition;
 
+pub use crate::delta::{DeltaGraph, EdgeDelta};
 pub use crate::graph::{Csr, Edge, Graph, VertexId};
 pub use crate::ordering::{apply_ordering, ordering_permutation, OrderingKind};
 pub use crate::partition::{BorderEdges, Partition, PartitionKind, RankEdges};

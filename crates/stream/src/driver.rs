@@ -1,0 +1,383 @@
+//! The streaming pipeline driver: replay windows → online correlation →
+//! delta graph → incremental chordal filter → MCODE, with per-window
+//! latency, churn and cluster-stability reporting.
+
+use crate::online::OnlineCorrelation;
+use casbn_core::IncrementalChordal;
+use casbn_distsim::CostModel;
+use casbn_expr::{ExpressionMatrix, NetworkParams};
+use casbn_graph::{DeltaGraph, VertexId};
+use casbn_mcode::{mcode_cluster, McodeParams};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of a streaming run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Samples ingested per window.
+    pub batch: usize,
+    /// Correlation retention thresholds (the paper's by default).
+    pub network: NetworkParams,
+    /// MCODE parameters for the per-window re-clustering.
+    pub mcode: McodeParams,
+    /// Cost model the incremental maintenance clock is charged under.
+    pub cost: CostModel,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batch: 2,
+            network: NetworkParams::default(),
+            mcode: McodeParams::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Per-window measurements of a streaming run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window index (0-based).
+    pub window: usize,
+    /// Samples ingested up to and including this window.
+    pub samples_seen: usize,
+    /// Edges that crossed the retention cut this window.
+    pub inserts: usize,
+    /// Edges that fell below the cut this window.
+    pub removes: usize,
+    /// Live network edges after this window.
+    pub network_edges: usize,
+    /// Edges retained by the incremental chordal filter.
+    pub chordal_edges: usize,
+    /// MCODE clusters found on the chordal subgraph.
+    pub clusters: usize,
+    /// Jaccard overlap of clustered-vertex sets vs the previous window
+    /// (1.0 when both windows cluster the same vertices, and for the
+    /// first window).
+    pub stability: f64,
+    /// Simulated seconds of the online-correlation ingest (moments,
+    /// co-moments, pair scan) this window.
+    pub sim_ingest: f64,
+    /// Simulated seconds of the incremental chordal maintenance this
+    /// window.
+    pub sim_chordal: f64,
+    /// Wall-clock time of the whole window (ingest through clustering).
+    pub wall: Duration,
+}
+
+/// Summary of a completed streaming run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Genes in the stream.
+    pub genes: usize,
+    /// Per-window measurements, in order.
+    pub windows: Vec<WindowReport>,
+    /// Deterministic checksum over the integer window metrics (FNV-1a);
+    /// pinned by CI's streaming smoke gate.
+    pub checksum: u64,
+}
+
+impl StreamSummary {
+    /// Total edge churn (inserts + removes) across all windows.
+    pub fn total_churn(&self) -> usize {
+        self.windows.iter().map(|w| w.inserts + w.removes).sum()
+    }
+}
+
+/// Incremental streaming pipeline over a growing sample stream.
+///
+/// Every [`StreamDriver::ingest_window`]:
+///
+/// 1. feeds the window's samples to the [`OnlineCorrelation`]
+///    accumulator, producing an edge delta;
+/// 2. applies the delta to the CSR-backed [`DeltaGraph`] (compacting by
+///    epoch as overlays grow);
+/// 3. maintains the chordal subgraph with [`IncrementalChordal`]
+///    (admissibility-tested inserts, deletion-triggered regional
+///    rebuilds), charged to the LogP clock;
+/// 4. re-clusters the chordal subgraph with MCODE and scores cluster
+///    stability against the previous window.
+pub struct StreamDriver {
+    online: OnlineCorrelation,
+    net: DeltaGraph,
+    chordal: IncrementalChordal,
+    cfg: StreamConfig,
+    prev_clustered: BTreeSet<VertexId>,
+    windows: Vec<WindowReport>,
+    sim_ingest_last: f64,
+    sim_chordal_last: f64,
+}
+
+impl StreamDriver {
+    /// Fresh driver over `genes` genes.
+    pub fn new(genes: usize, cfg: StreamConfig) -> Self {
+        StreamDriver {
+            online: OnlineCorrelation::new(genes, cfg.network),
+            net: DeltaGraph::new(genes),
+            chordal: IncrementalChordal::with_config(
+                genes,
+                casbn_chordal::ChordalConfig::default(),
+                cfg.cost,
+            ),
+            cfg,
+            prev_clustered: BTreeSet::new(),
+            windows: Vec::new(),
+            sim_ingest_last: 0.0,
+            sim_chordal_last: 0.0,
+        }
+    }
+
+    /// The live network.
+    pub fn network(&self) -> &DeltaGraph {
+        &self.net
+    }
+
+    /// The maintained chordal subgraph.
+    pub fn chordal(&self) -> &casbn_graph::Graph {
+        self.chordal.subgraph()
+    }
+
+    /// Windows processed so far.
+    pub fn windows(&self) -> &[WindowReport] {
+        &self.windows
+    }
+
+    /// Ingest one window of samples and run the full per-window pipeline.
+    pub fn ingest_window(&mut self, batch: &ExpressionMatrix) -> WindowReport {
+        let started = Instant::now();
+        let delta = self.online.ingest(batch);
+        self.net.apply(&delta);
+        self.chordal.apply(&delta, &self.net);
+
+        let clusters = mcode_cluster(self.chordal.subgraph(), &self.cfg.mcode);
+        let clustered: BTreeSet<VertexId> = clusters
+            .iter()
+            .flat_map(|c| c.vertices.iter().copied())
+            .collect();
+        let stability = jaccard(&self.prev_clustered, &clustered);
+        self.prev_clustered = clustered;
+
+        let sim_ingest_total = self.online.work_ops() as f64 * self.cfg.cost.seconds_per_op;
+        let sim_ingest = sim_ingest_total - self.sim_ingest_last;
+        self.sim_ingest_last = sim_ingest_total;
+        let sim_chordal = self.chordal.sim_seconds() - self.sim_chordal_last;
+        self.sim_chordal_last = self.chordal.sim_seconds();
+
+        let report = WindowReport {
+            window: self.windows.len(),
+            samples_seen: self.online.samples(),
+            inserts: delta.inserts.len(),
+            removes: delta.removes.len(),
+            network_edges: self.net.m(),
+            chordal_edges: self.chordal.retained_edges(),
+            clusters: clusters.len(),
+            stability,
+            sim_ingest,
+            sim_chordal,
+            wall: started.elapsed(),
+        };
+        self.windows.push(report.clone());
+        report
+    }
+
+    /// Deterministic FNV-1a checksum over the integer metrics of every
+    /// window so far (insert/remove churn, edge counts, cluster counts).
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for w in &self.windows {
+            mix(w.samples_seen as u64);
+            mix(w.inserts as u64);
+            mix(w.removes as u64);
+            mix(w.network_edges as u64);
+            mix(w.chordal_edges as u64);
+            mix(w.clusters as u64);
+        }
+        h
+    }
+
+    /// Finish the run: consume the driver and summarise.
+    pub fn finish(self) -> StreamSummary {
+        let checksum = self.checksum();
+        StreamSummary {
+            genes: self.online.genes(),
+            windows: self.windows,
+            checksum,
+        }
+    }
+
+    /// Replay `matrix` (genes × samples, stream order) in `cfg.batch`-
+    /// sized windows and summarise. The trailing window may be smaller.
+    pub fn run(matrix: &ExpressionMatrix, cfg: StreamConfig) -> StreamSummary {
+        assert!(cfg.batch > 0, "window batch size must be positive");
+        let mut driver = StreamDriver::new(matrix.genes(), cfg);
+        let samples = matrix.samples();
+        let mut lo = 0usize;
+        while lo < samples {
+            let hi = (lo + cfg.batch).min(samples);
+            driver.ingest_window(&matrix.columns(lo, hi));
+            lo = hi;
+        }
+        driver.finish()
+    }
+}
+
+/// Jaccard similarity of two vertex sets; 1.0 when both are empty.
+fn jaccard(a: &BTreeSet<VertexId>, b: &BTreeSet<VertexId>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Simulated seconds a from-scratch rebuild of one window would cost
+/// under `cost`: re-standardising every gene over all `samples` seen,
+/// re-evaluating all `genes·(genes−1)/2` pairs with `samples`-long dot
+/// products (the tiled-Pearson work), plus `dsw_ops` for the from-scratch
+/// DSW extraction. This is the baseline the incremental per-window
+/// `sim_chordal`/`sim_ingest` numbers are judged against.
+pub fn rebuild_sim_seconds(genes: usize, samples: usize, dsw_ops: u64, cost: CostModel) -> f64 {
+    let pairs = (genes * genes.saturating_sub(1) / 2) as u64;
+    let ops = (genes * samples) as u64 + pairs * samples as u64 + dsw_ops;
+    ops as f64 * cost.seconds_per_op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::synthesize_replay;
+    use casbn_chordal::is_chordal;
+    use casbn_expr::DatasetPreset;
+
+    fn small_replay() -> ExpressionMatrix {
+        synthesize_replay(DatasetPreset::Yng, 0.02, Some(8))
+    }
+
+    #[test]
+    fn run_windows_cover_the_stream() {
+        let m = small_replay();
+        let cfg = StreamConfig::default();
+        let s = StreamDriver::run(&m, cfg);
+        assert_eq!(s.genes, m.genes());
+        assert_eq!(s.windows.len(), 4, "8 samples / batch 2");
+        assert_eq!(s.windows.last().unwrap().samples_seen, 8);
+        for (i, w) in s.windows.iter().enumerate() {
+            assert_eq!(w.window, i);
+            assert!(w.chordal_edges <= w.network_edges);
+            assert!(w.sim_ingest > 0.0);
+            assert!((0.0..=1.0).contains(&w.stability));
+        }
+        assert!(
+            s.windows.last().unwrap().network_edges > 0,
+            "YNG replay must build a network"
+        );
+    }
+
+    #[test]
+    fn trailing_partial_window() {
+        let m = synthesize_replay(DatasetPreset::Yng, 0.01, Some(7));
+        let s = StreamDriver::run(
+            &m,
+            StreamConfig {
+                batch: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.windows.len(), 3, "3+3+1");
+        assert_eq!(s.windows.last().unwrap().samples_seen, 7);
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_sensitive() {
+        let m = small_replay();
+        let a = StreamDriver::run(&m, StreamConfig::default());
+        let b = StreamDriver::run(&m, StreamConfig::default());
+        assert_eq!(a.checksum, b.checksum);
+        // different batching produces different per-window metrics
+        let c = StreamDriver::run(
+            &m,
+            StreamConfig {
+                batch: 4,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.checksum, c.checksum, "batching must be visible");
+        assert!(a.checksum != 0);
+    }
+
+    #[test]
+    fn custom_cost_model_charges_both_sim_metrics() {
+        let m = small_replay();
+        let base = StreamDriver::run(&m, StreamConfig::default());
+        let dear = StreamDriver::run(
+            &m,
+            StreamConfig {
+                cost: CostModel::compute_only(5e-6), // 1000x the default op cost
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.checksum, dear.checksum, "cost must not change outputs");
+        for (a, b) in base.windows.iter().zip(&dear.windows) {
+            // ingest AND chordal maintenance are charged under cfg.cost
+            assert!(
+                (b.sim_ingest / a.sim_ingest - 1000.0).abs() < 1e-6,
+                "ingest"
+            );
+            assert!(
+                (b.sim_chordal / a.sim_chordal - 1000.0).abs() < 1e-6,
+                "chordal maintenance must use the configured cost model"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_matches_batch_pipeline_at_stream_end() {
+        let m = small_replay();
+        let cfg = StreamConfig::default();
+        let mut driver = StreamDriver::new(m.genes(), cfg);
+        let mut lo = 0;
+        while lo < m.samples() {
+            let hi = (lo + cfg.batch).min(m.samples());
+            driver.ingest_window(&m.columns(lo, hi));
+            lo = hi;
+        }
+        // network converges to the batch network; chordal stays chordal
+        let batch = casbn_expr::CorrelationNetwork::from_expression_seq(&m, cfg.network);
+        assert!(driver.network().snapshot().same_edges(&batch.graph));
+        assert!(is_chordal(driver.chordal()));
+        for (u, v) in driver.chordal().edges() {
+            assert!(driver.network().has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn jaccard_edges_and_rebuild_cost() {
+        let a: BTreeSet<VertexId> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<VertexId> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&BTreeSet::new(), &BTreeSet::new()), 1.0);
+        assert_eq!(jaccard(&a, &BTreeSet::new()), 0.0);
+
+        let cost = CostModel::default();
+        let r = rebuild_sim_seconds(100, 10, 500, cost);
+        let expected = (100 * 10 + 4950 * 10 + 500) as f64 * cost.seconds_per_op;
+        assert!((r - expected).abs() < 1e-18);
+        assert_eq!(rebuild_sim_seconds(0, 5, 0, cost), 0.0);
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let m = synthesize_replay(DatasetPreset::Yng, 0.01, Some(4));
+        let s = StreamDriver::run(&m, StreamConfig::default());
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("checksum"));
+        assert!(json.contains("windows"));
+    }
+}

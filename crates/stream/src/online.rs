@@ -1,0 +1,560 @@
+//! Online all-pairs Pearson correlation with threshold-crossing deltas.
+//!
+//! The batch pipeline standardises the full genes × samples matrix and
+//! evaluates every pair with a dot product
+//! ([`CorrelationNetwork::from_expression_seq`]). [`OnlineCorrelation`]
+//! instead maintains, across ingest batches:
+//!
+//! * per-gene **Welford moments** — running mean and centred second
+//!   moment `M2ᵍ = Σₜ (xᵍₜ − μᵍ)²`;
+//! * **pairwise co-moments** `Cᵢⱼ = Σₜ (xᵢₜ − μᵢ)(xⱼₜ − μⱼ)` over the
+//!   upper triangle, updated with the exact pairwise rule
+//!   `Cᵢⱼ += dᵢ·d₂ⱼ` (`d` = deviation from the pre-update mean, `d₂` =
+//!   deviation from the post-update mean).
+//!
+//! Both recurrences are *sample-sequential*: the accumulator state after
+//! ingesting a sample stream is **bit-identical for every partition of
+//! that stream into batches**, which is what the partition-invariance
+//! property test pins. The implied correlation
+//! `ρᵢⱼ = Cᵢⱼ / (√M2ᵢ·√M2ⱼ)` equals the batch Pearson coefficient up to
+//! floating-point associativity (≤ 1e-12 relative in practice), so the
+//! thresholded edge set matches the batch network.
+//!
+//! After each batch the full pair triangle is re-evaluated against the
+//! retention predicate (`ρ ≥ min_rho` and `p ≤ max_p`, the paper's
+//! thresholds) and the *changes* are emitted as an [`EdgeDelta`]: edges
+//! that crossed the cut and edges that fell back below it as the running
+//! estimates sharpened.
+//!
+//! The co-moment update is tiled: gene rows are grouped into blocks of
+//! roughly equal pair count and updated on scoped threads, each block
+//! accumulating its samples in stream order — so the parallel result is
+//! bit-identical to the sequential one.
+//!
+//! [`CorrelationNetwork::from_expression_seq`]: casbn_expr::CorrelationNetwork::from_expression_seq
+
+use casbn_expr::{pearson_p_value, ExpressionMatrix, NetworkParams};
+use casbn_graph::{EdgeDelta, Graph, VertexId};
+use rayon::prelude::*;
+
+/// Pair count above which the co-moment update and the delta scan run on
+/// multiple threads (below it, thread spawn overhead dominates).
+const PARALLEL_PAIR_THRESHOLD: usize = 1 << 15;
+
+/// Streaming all-pairs correlation accumulator.
+#[derive(Clone, Debug)]
+pub struct OnlineCorrelation {
+    genes: usize,
+    params: NetworkParams,
+    /// Samples ingested so far.
+    samples: usize,
+    /// Per-gene running mean.
+    mean: Vec<f64>,
+    /// Per-gene centred second moment Σ(x−μ)².
+    m2: Vec<f64>,
+    /// Upper-triangle pairwise co-moments, row-major flat.
+    comoment: Vec<f64>,
+    /// Current thresholded edge membership, one bit per pair.
+    present: Vec<u64>,
+    /// Live edge count.
+    edges: usize,
+    /// Abstract ops charged (moment updates + co-moment updates + pair
+    /// scans), the unit the streaming perf workloads feed to the LogP
+    /// cost model.
+    work_ops: u64,
+}
+
+/// Flat upper-triangle index of pair `(i, j)`, `i < j`.
+#[inline]
+fn pair_index(genes: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < genes);
+    i * (2 * genes - i - 1) / 2 + (j - i - 1)
+}
+
+impl OnlineCorrelation {
+    /// Empty accumulator over `genes` genes with the given thresholds.
+    ///
+    /// Memory is `O(genes²)` for the co-moment triangle — the price of
+    /// exact incremental all-pairs correlation.
+    pub fn new(genes: usize, params: NetworkParams) -> Self {
+        let pairs = genes * genes.saturating_sub(1) / 2;
+        OnlineCorrelation {
+            genes,
+            params,
+            samples: 0,
+            mean: vec![0.0; genes],
+            m2: vec![0.0; genes],
+            comoment: vec![0.0; pairs],
+            present: vec![0u64; pairs.div_ceil(64)],
+            edges: 0,
+            work_ops: 0,
+        }
+    }
+
+    /// Number of genes.
+    #[inline]
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// Samples ingested so far.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Thresholds in force.
+    #[inline]
+    pub fn params(&self) -> NetworkParams {
+        self.params
+    }
+
+    /// Edges currently above the retention cut.
+    #[inline]
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Abstract ops performed so far (for the simulated cost model).
+    #[inline]
+    pub fn work_ops(&self) -> u64 {
+        self.work_ops
+    }
+
+    /// Running mean of gene `g`.
+    #[inline]
+    pub fn mean(&self, g: usize) -> f64 {
+        self.mean[g]
+    }
+
+    /// Centred second moment `Σ(x−μ)²` of gene `g`.
+    #[inline]
+    pub fn m2(&self, g: usize) -> f64 {
+        self.m2[g]
+    }
+
+    /// Pairwise co-moment `Σ(xᵢ−μᵢ)(xⱼ−μⱼ)` of genes `i ≠ j`.
+    pub fn co_moment(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = (i.min(j), i.max(j));
+        self.comoment[pair_index(self.genes, i, j)]
+    }
+
+    /// Current correlation estimate of genes `i ≠ j` (0.0 while either
+    /// gene has no variance).
+    pub fn rho(&self, i: usize, j: usize) -> f64 {
+        let denom = self.m2[i].sqrt() * self.m2[j].sqrt();
+        if denom > 0.0 {
+            self.co_moment(i, j) / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the pair `(i, j)` currently satisfies the retention
+    /// predicate (`ρ ≥ min_rho` and `p ≤ max_p` at the current sample
+    /// count).
+    pub fn pair_retained(&self, i: usize, j: usize) -> bool {
+        let (i, j) = (i.min(j), i.max(j));
+        self.bit(pair_index(self.genes, i, j))
+    }
+
+    /// The current thresholded network as a plain graph.
+    pub fn graph(&self) -> Graph {
+        let mut g = Graph::new(self.genes);
+        for i in 0..self.genes {
+            for j in (i + 1)..self.genes {
+                if self.bit(pair_index(self.genes, i, j)) {
+                    g.add_edge(i as VertexId, j as VertexId);
+                }
+            }
+        }
+        g
+    }
+
+    /// Retained edges with their current ρ, canonical order.
+    pub fn weights(&self) -> Vec<((VertexId, VertexId), f64)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for i in 0..self.genes {
+            for j in (i + 1)..self.genes {
+                if self.bit(pair_index(self.genes, i, j)) {
+                    out.push(((i as VertexId, j as VertexId), self.rho(i, j)));
+                }
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn bit(&self, idx: usize) -> bool {
+        self.present[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Ingest one batch of samples (a genes × k matrix, columns are the
+    /// new arrays in stream order) and emit the edge changes it caused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's gene count differs from the accumulator's.
+    pub fn ingest(&mut self, batch: &ExpressionMatrix) -> EdgeDelta {
+        assert_eq!(
+            batch.genes(),
+            self.genes,
+            "batch gene count {} != accumulator {}",
+            batch.genes(),
+            self.genes
+        );
+        let k = batch.samples();
+        let genes = self.genes;
+        if k > 0 && genes > 0 {
+            // phase 1 — per-gene Welford moments, sample-sequential;
+            // record the pre-/post-update deviations gene-major so the
+            // co-moment tiles stream them contiguously
+            let mut d = vec![0.0f64; genes * k];
+            let mut d2 = vec![0.0f64; genes * k];
+            for s in 0..k {
+                self.samples += 1;
+                let n = self.samples as f64;
+                for g in 0..genes {
+                    let x = batch.row(g)[s];
+                    let dev = x - self.mean[g];
+                    self.mean[g] += dev / n;
+                    let dev2 = x - self.mean[g];
+                    self.m2[g] += dev * dev2;
+                    d[g * k + s] = dev;
+                    d2[g * k + s] = dev2;
+                }
+            }
+            self.work_ops += (genes * k) as u64;
+
+            // phase 2 — tiled co-moment update: Cᵢⱼ += Σₛ dᵢₛ·d₂ⱼₛ with
+            // the per-pair sample loop in stream order (bit-identical to
+            // the sequential recurrence)
+            self.update_comoments(&d, &d2, k);
+            self.work_ops += (self.comoment.len() * k) as u64;
+        }
+
+        // phase 3 — re-evaluate the pair triangle and diff against the
+        // current membership
+        self.scan_deltas()
+    }
+
+    /// Apply `Cᵢⱼ += Σₛ dᵢₛ·d₂ⱼₛ` over the whole triangle, tiled by row
+    /// blocks of roughly equal pair count on scoped threads.
+    fn update_comoments(&mut self, d: &[f64], d2: &[f64], k: usize) {
+        let genes = self.genes;
+        let pairs = self.comoment.len();
+        let threads = if pairs >= PARALLEL_PAIR_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(genes.max(1))
+        } else {
+            1
+        };
+
+        // cut rows into `threads` blocks of ~equal pair count and hand
+        // each block its contiguous comoment slice
+        let mut blocks: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(threads);
+        let mut rest: &mut [f64] = &mut self.comoment;
+        let mut row = 0usize;
+        let target = pairs.div_ceil(threads);
+        while row < genes {
+            let start = row;
+            let mut count = 0usize;
+            while row < genes && (count == 0 || count + (genes - row - 1) <= target) {
+                count += genes - row - 1;
+                row += 1;
+            }
+            let (head, tail) = rest.split_at_mut(count);
+            rest = tail;
+            blocks.push((start, row, head));
+        }
+
+        std::thread::scope(|scope| {
+            for (row_start, row_end, slice) in blocks {
+                scope.spawn(move || {
+                    let mut idx = 0usize;
+                    for i in row_start..row_end {
+                        let di = &d[i * k..(i + 1) * k];
+                        for j in (i + 1)..genes {
+                            let dj = &d2[j * k..(j + 1) * k];
+                            let mut c = slice[idx];
+                            for s in 0..k {
+                                c += di[s] * dj[s];
+                            }
+                            slice[idx] = c;
+                            idx += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Re-evaluate every pair against the retention predicate and emit
+    /// the membership changes.
+    fn scan_deltas(&mut self) -> EdgeDelta {
+        let genes = self.genes;
+        let pairs = self.comoment.len();
+        self.work_ops += pairs as u64;
+        let n = self.samples;
+        let params = self.params;
+        let sd: Vec<f64> = self.m2.iter().map(|&m| m.sqrt()).collect();
+
+        // read-only evaluation, parallel per row (order-preserving), then
+        // a sequential membership update
+        let eval_row = |i: usize| -> Vec<(usize, bool)> {
+            let mut changes = Vec::new();
+            let base = pair_index(genes, i, i + 1);
+            for j in (i + 1)..genes {
+                let idx = base + (j - i - 1);
+                let denom = sd[i] * sd[j];
+                let rho = if denom > 0.0 {
+                    self.comoment[idx] / denom
+                } else {
+                    0.0
+                };
+                let keep = rho >= params.min_rho && pearson_p_value(rho, n) <= params.max_p;
+                if keep != self.bit(idx) {
+                    changes.push((idx, keep));
+                }
+            }
+            changes
+        };
+        let changes: Vec<(usize, bool)> = if pairs >= PARALLEL_PAIR_THRESHOLD {
+            (0..genes.saturating_sub(1))
+                .into_par_iter()
+                .flat_map_iter(eval_row)
+                .collect()
+        } else {
+            (0..genes.saturating_sub(1)).flat_map(eval_row).collect()
+        };
+
+        let mut delta = EdgeDelta::default();
+        for (idx, keep) in changes {
+            self.present[idx / 64] ^= 1u64 << (idx % 64);
+            let (i, j) = pair_of(genes, idx);
+            if keep {
+                self.edges += 1;
+                delta.inserts.push((i as VertexId, j as VertexId));
+            } else {
+                self.edges -= 1;
+                delta.removes.push((i as VertexId, j as VertexId));
+            }
+        }
+        delta
+    }
+}
+
+/// Inverse of [`pair_index`]: the `(i, j)` pair of a flat triangle index.
+fn pair_of(genes: usize, idx: usize) -> (usize, usize) {
+    // row i starts at offset i*(2*genes-i-1)/2; walk rows (the delta lists
+    // are short, so this linear scan is off the hot path)
+    let mut i = 0usize;
+    let mut off = 0usize;
+    while off + (genes - i - 1) <= idx {
+        off += genes - i - 1;
+        i += 1;
+    }
+    (i, i + 1 + (idx - off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbn_expr::{CorrelationNetwork, SyntheticMicroarray, SyntheticParams};
+
+    fn arr(genes: usize, samples: usize, seed: u64) -> SyntheticMicroarray {
+        SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes,
+                samples,
+                modules: 4,
+                module_size: 6,
+                loading_sq: 0.95,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        for genes in [2usize, 3, 7, 20] {
+            let mut idx = 0usize;
+            for i in 0..genes {
+                for j in (i + 1)..genes {
+                    assert_eq!(pair_index(genes, i, j), idx);
+                    assert_eq!(pair_of(genes, idx), (i, j));
+                    idx += 1;
+                }
+            }
+            assert_eq!(idx, genes * (genes - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn single_batch_matches_batch_network() {
+        let a = arr(60, 16, 3);
+        let params = NetworkParams {
+            min_rho: 0.8,
+            max_p: 0.01,
+        };
+        let mut oc = OnlineCorrelation::new(60, params);
+        let delta = oc.ingest(&a.matrix);
+        assert!(delta.removes.is_empty(), "first batch cannot remove edges");
+        let batch = CorrelationNetwork::from_expression_seq(&a.matrix, params);
+        assert!(batch.graph.m() > 0, "reference network must be non-trivial");
+        assert!(oc.graph().same_edges(&batch.graph));
+        assert_eq!(oc.edges(), batch.graph.m());
+        assert_eq!(delta.inserts.len(), batch.graph.m());
+        // ρ agrees with the batch coefficients to tight tolerance
+        for &((u, v), rho) in &batch.weights {
+            assert!(
+                (oc.rho(u as usize, v as usize) - rho).abs() < 1e-12,
+                "rho({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_split_is_bit_identical() {
+        let a = arr(40, 18, 11);
+        let params = NetworkParams::default();
+        let mut whole = OnlineCorrelation::new(40, params);
+        whole.ingest(&a.matrix);
+        let mut split = OnlineCorrelation::new(40, params);
+        for (lo, hi) in [(0, 5), (5, 6), (6, 13), (13, 18)] {
+            split.ingest(&a.matrix.columns(lo, hi));
+        }
+        assert_eq!(whole.samples(), split.samples());
+        for g in 0..40 {
+            assert_eq!(whole.mean(g).to_bits(), split.mean(g).to_bits(), "mean {g}");
+            assert_eq!(whole.m2(g).to_bits(), split.m2(g).to_bits(), "m2 {g}");
+        }
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                assert_eq!(
+                    whole.co_moment(i, j).to_bits(),
+                    split.co_moment(i, j).to_bits(),
+                    "C({i},{j})"
+                );
+            }
+        }
+        assert!(whole.graph().same_edges(&split.graph()));
+    }
+
+    #[test]
+    fn deltas_track_membership_exactly() {
+        let a = arr(50, 20, 7);
+        let params = NetworkParams {
+            min_rho: 0.7,
+            max_p: 0.05,
+        };
+        let mut oc = OnlineCorrelation::new(50, params);
+        let mut mirror = Graph::new(50);
+        let mut churn = 0usize;
+        for (lo, hi) in [(0, 4), (4, 8), (8, 14), (14, 20)] {
+            let delta = oc.ingest(&a.matrix.columns(lo, hi));
+            for &(u, v) in &delta.removes {
+                assert!(mirror.remove_edge(u, v), "phantom remove ({u},{v})");
+            }
+            for &(u, v) in &delta.inserts {
+                assert!(mirror.add_edge(u, v), "phantom insert ({u},{v})");
+            }
+            churn += delta.len();
+            assert!(oc.graph().same_edges(&mirror));
+            assert_eq!(oc.edges(), mirror.m());
+        }
+        assert!(churn > 0, "stream must produce some churn");
+        // noisy early estimates must have produced at least one retraction
+        // at these loose thresholds (sharpening estimates drop edges)
+        let final_net = CorrelationNetwork::from_expression_seq(&a.matrix, params);
+        assert!(mirror.same_edges(&final_net.graph));
+    }
+
+    #[test]
+    fn zero_variance_and_degenerate_batches() {
+        let params = NetworkParams::default();
+        let mut oc = OnlineCorrelation::new(3, params);
+        // constant genes: no variance, no edges, no NaNs
+        let m = ExpressionMatrix::from_rows(3, 4, vec![1.0; 12]);
+        let delta = oc.ingest(&m);
+        assert!(delta.is_empty());
+        assert_eq!(oc.rho(0, 1), 0.0);
+        // empty batch is a no-op
+        let delta = oc.ingest(&ExpressionMatrix::zeros(3, 0));
+        assert!(delta.is_empty());
+        assert_eq!(oc.samples(), 4);
+        // zero genes
+        let mut oc = OnlineCorrelation::new(0, params);
+        assert!(oc.ingest(&ExpressionMatrix::zeros(0, 5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gene count")]
+    fn mismatched_batch_panics() {
+        let mut oc = OnlineCorrelation::new(4, NetworkParams::default());
+        oc.ingest(&ExpressionMatrix::zeros(5, 2));
+    }
+
+    #[test]
+    fn weights_cover_retained_edges() {
+        let a = arr(30, 15, 9);
+        let params = NetworkParams {
+            min_rho: 0.75,
+            max_p: 0.05,
+        };
+        let mut oc = OnlineCorrelation::new(30, params);
+        oc.ingest(&a.matrix);
+        let w = oc.weights();
+        assert_eq!(w.len(), oc.edges());
+        for ((u, v), rho) in w {
+            assert!(oc.pair_retained(u as usize, v as usize));
+            assert!(rho >= params.min_rho);
+            let direct = a.matrix.pearson(u as usize, v as usize);
+            assert!((rho - direct).abs() < 1e-9, "({u},{v}): {rho} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn work_ops_accumulate() {
+        let a = arr(30, 10, 1);
+        let mut oc = OnlineCorrelation::new(30, NetworkParams::default());
+        oc.ingest(&a.matrix.columns(0, 5));
+        let after_first = oc.work_ops();
+        assert!(after_first > 0);
+        oc.ingest(&a.matrix.columns(5, 10));
+        assert!(oc.work_ops() > after_first);
+    }
+
+    #[test]
+    fn parallel_path_matches_small_path() {
+        // force a gene count big enough to cross the parallel threshold
+        // (pairs >= 2^15 needs genes >= 257) and check against a second
+        // accumulator fed the same data in a different batching
+        let a = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 300,
+                samples: 10,
+                modules: 10,
+                module_size: 8,
+                loading_sq: 0.97,
+            },
+            5,
+        );
+        let params = NetworkParams {
+            min_rho: 0.85,
+            max_p: 0.01,
+        };
+        let mut whole = OnlineCorrelation::new(300, params);
+        whole.ingest(&a.matrix);
+        let mut split = OnlineCorrelation::new(300, params);
+        for (lo, hi) in [(0, 3), (3, 7), (7, 10)] {
+            split.ingest(&a.matrix.columns(lo, hi));
+        }
+        assert!(whole.edges() > 0);
+        assert!(whole.graph().same_edges(&split.graph()));
+        let batch = CorrelationNetwork::from_expression_seq(&a.matrix, params);
+        assert!(whole.graph().same_edges(&batch.graph));
+    }
+}

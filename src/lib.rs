@@ -15,6 +15,8 @@
 //! * [`mcode`] — MCODE graph clustering.
 //! * [`ontology`] — GO-like DAG and edge-enrichment cluster scoring.
 //! * [`analysis`] — cluster overlap / sensitivity / specificity evaluation.
+//! * [`stream`] — the incremental streaming subsystem: online
+//!   correlation, edge-delta graphs, incremental chordal filtering.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use casbn_expr as expr;
 pub use casbn_graph as graph;
 pub use casbn_mcode as mcode;
 pub use casbn_ontology as ontology;
+pub use casbn_stream as stream;
 
 /// Convenient glob-import surface covering the common pipeline.
 pub mod prelude {
@@ -56,6 +59,7 @@ pub mod prelude {
         SensitivitySpecificity,
     };
     pub use casbn_chordal::{is_chordal, maximal_chordal_subgraph};
+    pub use casbn_core::IncrementalChordal;
     pub use casbn_core::{
         break_cycles, Filter, FilterOutput, ForestFireFilter, ParallelChordalCommFilter,
         ParallelChordalNoCommFilter, ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter,
@@ -63,8 +67,10 @@ pub mod prelude {
     };
     pub use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
     pub use casbn_graph::{
-        apply_ordering, Graph, OrderingKind, Partition, PartitionKind, VertexId,
+        apply_ordering, DeltaGraph, EdgeDelta, Graph, OrderingKind, Partition, PartitionKind,
+        VertexId,
     };
     pub use casbn_mcode::{mcode_cluster, Cluster, McodeParams};
     pub use casbn_ontology::{enrich_cluster, AnnotatedOntology, EnrichmentScorer, GoDag};
+    pub use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 }
