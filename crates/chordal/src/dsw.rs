@@ -41,9 +41,8 @@
 //!   candidate clique seeded by a noise edge can block a module clique
 //!   from ever forming (quantified in `benches/ablation.rs`).
 
-use casbn_graph::{norm_edge, Edge, Graph, VertexId};
+use casbn_graph::{nbhood, norm_edge, Edge, Graph, VertexId};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Vertex selection rule for the DSW traversal.
@@ -84,28 +83,121 @@ pub struct ChordalResult {
     pub work: WorkCounter,
 }
 
+/// Reusable scratch state for [`maximal_chordal_subgraph_with`]: the
+/// per-vertex candidate sets, selection heap and intersection buffers,
+/// sized on first use and reused across extractions so steady-state
+/// filtering (the incremental maintainer's regional rebuilds, repeated
+/// benchmark passes) performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct DswScratch {
+    /// Per-vertex candidate cliques (sorted sets); buffers circulate
+    /// through `tv` so capacity is never dropped.
+    cand: Vec<Vec<VertexId>>,
+    processed: Vec<bool>,
+    /// Lazy max-heap of packed `(|cand|, label)` keys — see `pack_key`.
+    heap: BinaryHeap<u64>,
+    /// Clique of the vertex being processed.
+    tv: Vec<VertexId>,
+    /// Intersection buffer for the DSW improvement rule.
+    inter: Vec<VertexId>,
+}
+
+/// Pack a selection key: candidate size in the high 32 bits, bit-flipped
+/// label in the low 32. `u64` ordering is then exactly the lexicographic
+/// (size ascending, label descending) order, so the heap max is the
+/// largest candidate set with ties broken by **smallest** label — one
+/// integer compare instead of a tuple compare per sift step.
+#[inline]
+fn pack_key(size: usize, v: VertexId) -> u64 {
+    ((size as u64) << 32) | (u32::MAX - v) as u64
+}
+
+/// Unpack a selection key into `(size, label)`.
+#[inline]
+fn unpack_key(key: u64) -> (usize, VertexId) {
+    ((key >> 32) as usize, u32::MAX - (key & 0xffff_ffff) as u32)
+}
+
+impl DswScratch {
+    /// Scratch pre-sized for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut s = DswScratch::default();
+        s.ensure(n);
+        s
+    }
+
+    /// Grow (never shrink) to cover `n` vertices.
+    fn ensure(&mut self, n: usize) {
+        if self.cand.len() < n {
+            self.cand.resize_with(n, Vec::new);
+            self.processed.resize(n, false);
+        }
+    }
+}
+
 /// Extract a maximal chordal subgraph of `g` with the DSW algorithm.
 ///
 /// The output graph spans the same vertex set and its edge set is a subset
 /// of `g`'s. The reverse of `result.order` is a perfect elimination
 /// ordering of the output, so `is_chordal` always holds (asserted in the
 /// test-suite, including property tests).
+///
+/// Allocates fresh scratch per call; hot paths that extract repeatedly
+/// should hold a [`DswScratch`] + [`ChordalResult`] and call
+/// [`maximal_chordal_subgraph_with`] instead.
 pub fn maximal_chordal_subgraph(g: &Graph, config: ChordalConfig) -> ChordalResult {
-    let n = g.n();
-    let mut out = Graph::new(n);
-    let mut cand: Vec<Vec<VertexId>> = vec![Vec::new(); n]; // sorted sets
-    let mut processed = vec![false; n];
-    let mut order = Vec::with_capacity(n);
-    let mut work = WorkCounter::default();
-
-    // Lazy max-heap keyed by (|cand|, smallest label). Candidate sets only
-    // grow, so stale entries always carry a smaller key and are skipped on
-    // pop. Total pushes are O(E), giving O(E log n) selection overhead.
-    let mut heap: BinaryHeap<(usize, Reverse<VertexId>)> = match config.selection {
-        SelectionRule::MaxCardinality => (0..n as VertexId).map(|v| (0, Reverse(v))).collect(),
-        SelectionRule::LabelOrder => BinaryHeap::new(),
+    let mut scratch = DswScratch::new(g.n());
+    let mut result = ChordalResult {
+        graph: Graph::new(g.n()),
+        order: Vec::with_capacity(g.n()),
+        work: WorkCounter::default(),
     };
-    let mut pick_label = 0usize; // cursor for LabelOrder
+    maximal_chordal_subgraph_with(g, config, &mut scratch, &mut result);
+    result
+}
+
+/// Scratch-threaded DSW extraction: identical output and work accounting
+/// to [`maximal_chordal_subgraph`], but every buffer (candidate sets,
+/// selection heap, intersection scratch, the output graph's adjacency)
+/// is reused from `scratch`/`result`, so repeated extractions reach a
+/// zero-allocation steady state (asserted by `tests/alloc_regression.rs`
+/// at the workspace root).
+pub fn maximal_chordal_subgraph_with(
+    g: &Graph,
+    config: ChordalConfig,
+    scratch: &mut DswScratch,
+    result: &mut ChordalResult,
+) {
+    let n = g.n();
+    scratch.ensure(n);
+    let DswScratch {
+        cand,
+        processed,
+        heap,
+        tv,
+        inter,
+    } = scratch;
+    for c in &mut cand[..n] {
+        c.clear();
+    }
+    processed[..n].fill(false);
+    result.graph.reset(n);
+    result.order.clear();
+    result.work = WorkCounter::default();
+    let out = &mut result.graph;
+    let order = &mut result.order;
+    let work = &mut result.work;
+
+    // Lazy max-heap keyed by packed (|cand|, smallest label). Candidate
+    // sets only grow, so stale entries always carry a smaller key and are
+    // skipped on pop; a vertex is pushed only when its set grows, so the
+    // heap holds O(E) entries total and vertices with empty candidate
+    // sets never enter it. An empty heap therefore means every
+    // unprocessed vertex has an empty candidate set — a (0, label) tie
+    // the original dense heap broke by smallest label — which the
+    // ascending label cursor reproduces exactly.
+    heap.clear();
+    let mut pick_label = 0usize; // cursor for LabelOrder and empty-cand picks
     for _ in 0..n {
         let v = match config.selection {
             SelectionRule::LabelOrder => {
@@ -115,23 +207,41 @@ pub fn maximal_chordal_subgraph(g: &Graph, config: ChordalConfig) -> ChordalResu
                 pick_label as VertexId
             }
             SelectionRule::MaxCardinality => loop {
-                let (sz, Reverse(u)) = heap.pop().expect("vertices remain");
-                if !processed[u as usize] && cand[u as usize].len() == sz {
-                    break u;
+                match heap.pop() {
+                    Some(key) => {
+                        let (sz, u) = unpack_key(key);
+                        if !processed[u as usize] && cand[u as usize].len() == sz {
+                            break u;
+                        }
+                    }
+                    None => {
+                        while processed[pick_label] {
+                            pick_label += 1;
+                        }
+                        break pick_label as VertexId;
+                    }
                 }
             },
         };
         processed[v as usize] = true;
         order.push(v);
 
-        // materialise the candidate clique edges
-        for &w in &cand[v as usize] {
-            out.add_edge(v, w);
+        // clique of v, sorted: copy into the tv buffer rather than
+        // swapping, so every candidate buffer stays with its vertex and
+        // per-vertex capacity converges after one warm-up pass (a swap
+        // would permute buffers across vertices every run)
+        tv.clear();
+        tv.extend_from_slice(&cand[v as usize]);
+        cand[v as usize].clear();
+
+        // materialise the candidate clique edges; the output adjacency is
+        // never queried during construction, so append now + sort once
+        for &w in tv.iter() {
+            out.push_edge_unsorted(v, w);
         }
-        work.ops += cand[v as usize].len() as u64;
+        work.ops += tv.len() as u64;
 
         // update unprocessed neighbours
-        let tv = std::mem::take(&mut cand[v as usize]); // clique of v, sorted
         for &u in g.neighbors(v) {
             if processed[u as usize] {
                 continue;
@@ -139,32 +249,28 @@ pub fn maximal_chordal_subgraph(g: &Graph, config: ChordalConfig) -> ChordalResu
             let cu = &mut cand[u as usize];
             work.ops += (cu.len() + 1) as u64;
             let mut grew = false;
-            if is_subset(cu, &tv) {
+            if nbhood::is_subset(cu, tv) {
                 // cand(u) ∪ {v} stays a clique
                 insert_sorted(cu, v);
                 grew = true;
             } else {
                 // adopt (cand(u) ∩ T(v)) ∪ {v} if strictly larger
-                let inter = intersect_sorted(cu, &tv);
+                inter.clear();
+                nbhood::intersect_for_each(cu, tv, |x| inter.push(x));
                 work.ops += inter.len() as u64;
                 if inter.len() + 1 > cu.len() {
-                    let mut repl = inter;
-                    insert_sorted(&mut repl, v);
-                    *cu = repl;
+                    cu.clear();
+                    cu.extend_from_slice(inter);
+                    insert_sorted(cu, v);
                     grew = true;
                 }
             }
             if grew && config.selection == SelectionRule::MaxCardinality {
-                heap.push((cand[u as usize].len(), Reverse(u)));
+                heap.push(pack_key(cand[u as usize].len(), u));
             }
         }
     }
-
-    ChordalResult {
-        graph: out,
-        order,
-        work,
-    }
+    out.sort_adjacency();
 }
 
 /// Re-offer every edge of `g` missing from `h` (in canonical edge order)
@@ -198,43 +304,10 @@ pub fn removed_edges(g: &Graph, h: &Graph) -> Vec<Edge> {
 }
 
 #[inline]
-fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
-    // both sorted
-    let mut j = 0;
-    for &x in a {
-        while j < b.len() && b[j] < x {
-            j += 1;
-        }
-        if j == b.len() || b[j] != x {
-            return false;
-        }
-    }
-    true
-}
-
-#[inline]
 fn insert_sorted(v: &mut Vec<VertexId>, x: VertexId) {
     if let Err(pos) = v.binary_search(&x) {
         v.insert(pos, x);
     }
-}
-
-#[inline]
-fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -389,6 +462,36 @@ mod tests {
         let fixed = repair_maximal(&g, &r.graph);
         let ratio = r.graph.m() as f64 / fixed.m() as f64;
         assert!(ratio > 0.75, "greedy/maximal ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_disparate_graphs() {
+        // one scratch + result pair reused across graphs of different
+        // sizes and densities must reproduce the fresh-allocation path
+        // exactly (graph, order, and work counter)
+        let mut scratch = DswScratch::new(0);
+        let mut result = ChordalResult {
+            graph: Graph::new(0),
+            order: Vec::new(),
+            work: WorkCounter::default(),
+        };
+        let graphs = [
+            gnm(120, 360, 4),
+            clique(9),
+            cycle(17),
+            Graph::new(5),
+            gnm(60, 300, 8),
+        ];
+        for sel in [SelectionRule::MaxCardinality, SelectionRule::LabelOrder] {
+            for g in &graphs {
+                let cfg = ChordalConfig { selection: sel };
+                let fresh = maximal_chordal_subgraph(g, cfg);
+                maximal_chordal_subgraph_with(g, cfg, &mut scratch, &mut result);
+                assert!(result.graph.same_edges(&fresh.graph));
+                assert_eq!(result.order, fresh.order);
+                assert_eq!(result.work, fresh.work);
+            }
+        }
     }
 
     #[test]

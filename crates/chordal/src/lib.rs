@@ -27,9 +27,11 @@ pub mod test_chordal;
 
 pub use cliques::{clique_edge_retention, clique_number, maximal_cliques};
 pub use dsw::{
-    maximal_chordal_subgraph, repair_maximal, ChordalConfig, ChordalResult, SelectionRule,
-    WorkCounter,
+    maximal_chordal_subgraph, maximal_chordal_subgraph_with, repair_maximal, ChordalConfig,
+    ChordalResult, DswScratch, SelectionRule, WorkCounter,
 };
 pub use generate::random_chordal;
 pub use lexbfs::{is_chordal_lexbfs, lexbfs_order};
-pub use test_chordal::{check_peo, is_chordal, mcs_order};
+pub use test_chordal::{
+    check_peo, is_chordal, is_chordal_with, mcs_order, mcs_order_with, McsScratch,
+};

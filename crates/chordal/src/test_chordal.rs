@@ -10,19 +10,69 @@
 
 use casbn_graph::{Graph, VertexId};
 
+/// Reusable scratch for [`mcs_order_with`] / [`is_chordal_with`]: the
+/// MCS weight array, visited flags, bucket queue and the PEO position
+/// buffer, sized on first use and reused across calls (the streaming
+/// differential suites run the chordality check after every batch).
+#[derive(Clone, Debug, Default)]
+pub struct McsScratch {
+    weight: Vec<usize>,
+    visited: Vec<bool>,
+    buckets: Vec<Vec<VertexId>>,
+    pos: Vec<usize>,
+    order: Vec<VertexId>,
+}
+
+impl McsScratch {
+    /// Scratch pre-sized for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut s = McsScratch::default();
+        s.ensure(n);
+        s
+    }
+
+    /// Grow (never shrink) to cover `n` vertices.
+    fn ensure(&mut self, n: usize) {
+        if self.weight.len() < n {
+            self.weight.resize(n, 0);
+            self.visited.resize(n, false);
+            self.pos.resize(n, 0);
+        }
+        if self.buckets.len() < n.max(1) + 1 {
+            self.buckets.resize_with(n.max(1) + 1, Vec::new);
+        }
+    }
+}
+
 /// Maximum Cardinality Search visit order.
 ///
 /// Returns the sequence of vertices in visit order. Ties are broken by
 /// smallest vertex id, and new components are started at the smallest
-/// unvisited id, so the result is deterministic.
+/// unvisited id, so the result is deterministic. Allocates fresh scratch;
+/// repeated callers should use [`mcs_order_with`].
 pub fn mcs_order(g: &Graph) -> Vec<VertexId> {
+    let mut order = Vec::with_capacity(g.n());
+    mcs_order_with(g, &mut McsScratch::new(g.n()), &mut order);
+    order
+}
+
+/// Scratch-threaded MCS: identical order to [`mcs_order`], written into
+/// `order` (cleared first) with every working buffer reused from
+/// `scratch`.
+pub fn mcs_order_with(g: &Graph, scratch: &mut McsScratch, order: &mut Vec<VertexId>) {
     let n = g.n();
-    let mut weight = vec![0usize; n];
-    let mut visited = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    scratch.ensure(n);
+    let weight = &mut scratch.weight;
+    let visited = &mut scratch.visited;
+    let buckets = &mut scratch.buckets;
+    weight[..n].fill(0);
+    visited[..n].fill(false);
+    for b in &mut buckets[..n.max(1) + 1] {
+        b.clear();
+    }
+    order.clear();
 
     // Bucket queue over weights; lazily cleaned.
-    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); n.max(1) + 1];
     for v in 0..n as VertexId {
         buckets[0].push(v);
     }
@@ -78,7 +128,6 @@ pub fn mcs_order(g: &Graph) -> Vec<VertexId> {
             }
         }
     }
-    order
 }
 
 /// Verify that `order` (eliminated-first first) is a perfect elimination
@@ -87,9 +136,14 @@ pub fn mcs_order(g: &Graph) -> Vec<VertexId> {
 /// each `v`, `later(v) \ {parent}` is adjacent to `parent`, where `parent`
 /// is the earliest later-ordered neighbour.
 pub fn check_peo(g: &Graph, order: &[VertexId]) -> bool {
+    check_peo_with(g, order, &mut vec![0usize; g.n()])
+}
+
+/// [`check_peo`] with a caller-provided position buffer (`pos.len() >=
+/// g.n()`), the allocation-free variant [`is_chordal_with`] uses.
+fn check_peo_with(g: &Graph, order: &[VertexId], pos: &mut [usize]) -> bool {
     let n = g.n();
     assert_eq!(order.len(), n, "order must cover all vertices");
-    let mut pos = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
         pos[v as usize] = i;
     }
@@ -116,9 +170,20 @@ pub fn check_peo(g: &Graph, order: &[VertexId]) -> bool {
 
 /// Whether `g` is chordal.
 pub fn is_chordal(g: &Graph) -> bool {
-    let mut order = mcs_order(g);
+    is_chordal_with(g, &mut McsScratch::new(g.n()))
+}
+
+/// [`is_chordal`] with reusable scratch: the per-batch chordality gates
+/// of the streaming differential suites call this in a loop without
+/// re-allocating the MCS bucket queue.
+pub fn is_chordal_with(g: &Graph, scratch: &mut McsScratch) -> bool {
+    scratch.ensure(g.n());
+    let mut order = std::mem::take(&mut scratch.order);
+    mcs_order_with(g, scratch, &mut order);
     order.reverse(); // reverse MCS visit order is a PEO iff chordal
-    check_peo(g, &order)
+    let ok = check_peo_with(g, &order, &mut scratch.pos);
+    scratch.order = order;
+    ok
 }
 
 #[cfg(test)]

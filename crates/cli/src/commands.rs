@@ -27,7 +27,7 @@ USAGE:
   casbn stats    --in FILE [--centrality]
   casbn compare  --original FILE --filtered FILE
   casbn bench    [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
-                 [--threshold F] [--wall]
+                 [--threshold F] [--wall] [--summary FILE]
   casbn stream   (--preset P [--scale F] [--samples N] | --in FILE)
                  [--batch N] [--min-rho F] [--min-score F] [--json]
                  [--out FILE] [--replay-out FILE] [--expect-checksum N]
@@ -58,6 +58,8 @@ FLAGS:
   --threshold  `bench` relative regression threshold (default 0.5 = +50%)
   --wall       make `bench` gate on wall-clock regressions too (off by
                default: wall time is machine-dependent)
+  --summary    write a markdown before/after wall-time comparison table
+               against --baseline to FILE (the CI job-summary artifact)
   --samples    `stream` sample count of a synthesized replay (default:
                the preset's native array count)
   --batch      `stream` samples ingested per window (default 2)
@@ -85,7 +87,7 @@ optionally diffs the measurements against a committed baseline JSON.
 
 USAGE:
   casbn bench [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
-              [--threshold F] [--wall]
+              [--threshold F] [--wall] [--summary FILE]
 
 FLAGS:
   --scale      dataset size fraction (default 0.15; CI smoke uses 0.02)
@@ -96,6 +98,9 @@ FLAGS:
   --threshold  relative regression threshold (default 0.5 = +50%)
   --wall       gate on wall-clock regressions too (default: only the
                machine-independent simulated times and output checksums)
+  --summary    write a markdown before/after wall-time comparison table
+               against --baseline to FILE (uploaded by CI as the
+               bench-smoke job-summary artifact)
 ";
 
 /// `casbn stream --help` text (also asserted verbatim by the CLI snapshot
@@ -324,7 +329,14 @@ pub fn bench(argv: &[String]) -> i32 {
         // a typo'd or value-less flag here would silently disable the
         // regression gate (e.g. `--baseline` without a file) — reject
         args.reject_unknown(
-            &["scale", "repeats", "out", "baseline", "threshold"],
+            &[
+                "scale",
+                "repeats",
+                "out",
+                "baseline",
+                "threshold",
+                "summary",
+            ],
             &["wall"],
         )?;
         let scale: f64 = args.get_or("scale", perfbase::DEFAULT_SCALE)?;
@@ -332,6 +344,9 @@ pub fn bench(argv: &[String]) -> i32 {
         let threshold: f64 = args.get_or("threshold", perfbase::DEFAULT_THRESHOLD)?;
         if !scale.is_finite() || scale <= 0.0 || !threshold.is_finite() || threshold < 0.0 {
             return Err("need --scale > 0 and --threshold >= 0".into());
+        }
+        if args.get("summary").is_some() && args.get("baseline").is_none() {
+            return Err("--summary needs --baseline to compare against".into());
         }
         eprintln!("running perf baseline at scale {scale} ({repeats} repeats)…");
         let suite = perfbase::run_suite(scale, repeats);
@@ -354,6 +369,11 @@ pub fn bench(argv: &[String]) -> i32 {
                 serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
             let report = perfbase::diff(&base, &suite, threshold, args.has("wall"));
             print!("{}", report.render());
+            if let Some(md_path) = args.get("summary") {
+                let md = perfbase::render_markdown(&base, &suite);
+                std::fs::write(md_path, md).map_err(|e| format!("write {md_path}: {e}"))?;
+                eprintln!("wrote {md_path}");
+            }
             if report.compared == 0 {
                 return Err(format!("baseline {path} has no suite at scale {scale}"));
             }

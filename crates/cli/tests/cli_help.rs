@@ -32,6 +32,7 @@ const PARSED_FLAGS: &[&str] = &[
     "--min-rho",
     "--replay-out",
     "--expect-checksum",
+    "--summary",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -42,6 +43,7 @@ const BENCH_FLAGS: &[&str] = &[
     "--baseline",
     "--threshold",
     "--wall",
+    "--summary",
 ];
 
 /// The `stream` flags, also documented in the subcommand's own help.

@@ -4,7 +4,6 @@ use crate::filter::{assemble, Filter, FilterOutput, FilterStats};
 use casbn_chordal::{maximal_chordal_subgraph, ChordalConfig};
 use casbn_distsim::{decode_edges, encode_edges, run, CostModel, RankCtx};
 use casbn_graph::{Edge, Graph, Partition, PartitionKind, VertexId};
-use std::collections::BTreeMap;
 
 /// Message tag for the border-edge exchange of the comm variant.
 const TAG_BORDER: u64 = 1;
@@ -79,10 +78,14 @@ impl RankLocal {
         for (i, &v) in verts.iter().enumerate() {
             g2l[v as usize] = i as u32;
         }
+        // internal edges are distinct canonical edges, so the local graph
+        // can be bulk-built (append + one sort) instead of paying a
+        // binary-search insert per edge
         let mut local = Graph::new(verts.len());
         for &(u, v) in internal_edges {
-            local.add_edge(g2l[u as usize], g2l[v as usize]);
+            local.push_edge_unsorted(g2l[u as usize], g2l[v as usize]);
         }
+        local.sort_adjacency();
         let r = maximal_chordal_subgraph(&local, config);
         RankLocal {
             verts,
@@ -108,19 +111,45 @@ impl RankLocal {
     }
 }
 
-/// Group this rank's border edges by their **foreign** endpoint.
-/// `BTreeMap` keeps iteration deterministic.
+/// Group this rank's border edges by their **foreign** endpoint: one
+/// `(foreign, scan position, local)` triple per border edge, sorted by
+/// `(foreign, scan position)`. Groups are contiguous runs of equal
+/// `foreign`, ascending, with each group's locals in border-scan order —
+/// exactly the iteration the previous `BTreeMap<_, Vec<_>>` grouping
+/// produced, for one `sort_unstable` instead of `O(b log b)` tree nodes.
 fn by_foreign_endpoint(
     border: &[Edge],
     part: &Partition,
     rank: u32,
-) -> BTreeMap<VertexId, Vec<VertexId>> {
-    let mut map: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
-    for &(u, v) in border {
-        let (local, foreign) = if part.part(u) == rank { (u, v) } else { (v, u) };
-        map.entry(foreign).or_default().push(local);
+) -> Vec<(VertexId, u32, VertexId)> {
+    let mut pairs: Vec<(VertexId, u32, VertexId)> = border
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| {
+            let (local, foreign) = if part.part(u) == rank { (u, v) } else { (v, u) };
+            (foreign, i as u32, local)
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Iterate the contiguous `(foreign, locals)` groups of a
+/// [`by_foreign_endpoint`] buffer.
+fn for_each_foreign_group(
+    pairs: &[(VertexId, u32, VertexId)],
+    mut f: impl FnMut(VertexId, &[(VertexId, u32, VertexId)]),
+) {
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let foreign = pairs[i].0;
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == foreign {
+            j += 1;
+        }
+        f(foreign, &pairs[i..j]);
+        i = j;
     }
-    map
 }
 
 /// The improved, **communication-free** parallel chordal filter — the
@@ -180,23 +209,25 @@ impl Filter for ParallelChordalNoCommFilter {
             let mut kept: Vec<Edge> = local.global_edges();
             let groups = by_foreign_endpoint(&re.border, &part, rank);
             let mut ops = 0u64;
-            for (f, locs) in groups {
+            let mut include: Vec<bool> = Vec::new();
+            for_each_foreign_group(&groups, |f, locs| {
                 ops += (locs.len() * locs.len()) as u64 + 1;
-                let mut include = vec![false; locs.len()];
+                include.clear();
+                include.resize(locs.len(), false);
                 for i in 0..locs.len() {
                     for j in (i + 1)..locs.len() {
-                        if local.has_chordal_edge(locs[i], locs[j]) {
+                        if local.has_chordal_edge(locs[i].2, locs[j].2) {
                             include[i] = true;
                             include[j] = true;
                         }
                     }
                 }
-                for (i, &l) in locs.iter().enumerate() {
+                for (i, &(_, _, l)) in locs.iter().enumerate() {
                     if include[i] {
                         kept.push((f.min(l), f.max(l)));
                     }
                 }
-            }
+            });
             ctx.compute(ops);
             (kept, re.border.len())
         });
@@ -295,36 +326,52 @@ impl Filter for ParallelChordalCommFilter {
             ctx.compute(local.work);
             let mut kept: Vec<Edge> = local.global_edges();
 
-            // this rank's border edges grouped by partner rank; BTreeMap
-            // iteration gives the ascending-partner deterministic,
-            // deadlock-free schedule (both sides agree a pair exists iff
-            // mutual border edges exist)
-            let mut by_partner: BTreeMap<usize, Vec<Edge>> = BTreeMap::new();
-            for &(u, v) in &re.border {
-                let (pu, pv) = (part.part(u) as usize, part.part(v) as usize);
-                let partner = if pu == rank { pv } else { pu };
-                by_partner.entry(partner).or_default().push((u, v));
-            }
-            for (partner, edges) in &by_partner {
-                let sender = Self::sender_of(rank, *partner);
+            // this rank's border edges grouped by partner rank: sorting
+            // (partner, scan position) index pairs gives the same
+            // ascending-partner deterministic, deadlock-free schedule the
+            // previous BTreeMap grouping produced (both sides agree a
+            // pair exists iff mutual border edges exist), with each
+            // partner's edges kept in border-scan order
+            let mut by_partner: Vec<(usize, u32)> = re
+                .border
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| {
+                    let (pu, pv) = (part.part(u) as usize, part.part(v) as usize);
+                    let partner = if pu == rank { pv } else { pu };
+                    (partner, i as u32)
+                })
+                .collect();
+            by_partner.sort_unstable();
+            let mut edges: Vec<Edge> = Vec::new();
+            let mut i = 0usize;
+            while i < by_partner.len() {
+                let partner = by_partner[i].0;
+                edges.clear();
+                while i < by_partner.len() && by_partner[i].0 == partner {
+                    edges.push(re.border[by_partner[i].1 as usize]);
+                    i += 1;
+                }
+                let sender = Self::sender_of(rank, partner);
                 if sender == rank {
-                    ctx.send(*partner, TAG_BORDER, encode_edges(edges));
+                    ctx.send(partner, TAG_BORDER, encode_edges(&edges));
                 } else {
-                    let received = decode_edges(&ctx.recv(*partner, TAG_BORDER));
+                    let received = decode_edges(&ctx.recv(partner, TAG_BORDER));
                     // retained-edge computation: per foreign vertex keep a
                     // greedy clique of local attachment points
                     let groups = by_foreign_endpoint(&received, &part, rank as u32);
                     let mut ops = 0u64;
-                    for (f, locs) in groups {
-                        let mut acc: Vec<VertexId> = Vec::new();
-                        for &l in &locs {
+                    let mut acc: Vec<VertexId> = Vec::new();
+                    for_each_foreign_group(&groups, |f, locs| {
+                        acc.clear();
+                        for &(_, _, l) in locs {
                             ops += (acc.len() + 1) as u64;
                             if acc.iter().all(|&x| local.has_chordal_edge(x, l)) {
                                 acc.push(l);
                                 kept.push((f.min(l), f.max(l)));
                             }
                         }
-                    }
+                    });
                     ctx.compute(ops);
                 }
             }

@@ -19,7 +19,7 @@
 //!   leaves `C₄`), so a batch containing deletions triggers an *amortized
 //!   regional DSW rebuild*: the `H`-components touched by deleted edges
 //!   are re-extracted from the current network snapshot with
-//!   [`maximal_chordal_subgraph`], which also re-admits network edges a
+//!   [`maximal_chordal_subgraph_with`], which also re-admits network edges a
 //!   greedy earlier decision had rejected. Untouched components keep
 //!   their edges, and a disjoint union of chordal graphs is chordal.
 //! * **Rejections** trigger the same amortized regional rebuild: a
@@ -38,11 +38,12 @@
 //! tiled-Pearson + DSW recompute (the streaming perf-baseline workloads
 //! record both).
 
-use casbn_chordal::{maximal_chordal_subgraph, ChordalConfig};
+use casbn_chordal::{
+    maximal_chordal_subgraph_with, ChordalConfig, ChordalResult, DswScratch, WorkCounter,
+};
 use casbn_distsim::{CostModel, SimClock};
-use casbn_graph::{DeltaGraph, EdgeDelta, Graph, VertexId};
+use casbn_graph::{nbhood, DeltaGraph, EdgeDelta, Graph, NeighborhoodScratch, VertexId};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Per-batch maintenance statistics.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -64,6 +65,11 @@ pub struct IncBatchStats {
 }
 
 /// Incrementally maintained chordal subgraph of a dynamic network.
+///
+/// All working state (mark scratch, BFS queue, region buffers, the local
+/// rebuild graph and its DSW scratch) lives in the struct and is reused
+/// across batches, so steady-state maintenance performs no heap
+/// allocation beyond capacity ratcheting on the largest region seen.
 #[derive(Clone, Debug)]
 pub struct IncrementalChordal {
     h: Graph,
@@ -71,8 +77,22 @@ pub struct IncrementalChordal {
     cost: CostModel,
     clock: SimClock,
     ops_total: u64,
-    scratch_mark: Vec<u32>,
-    mark_gen: u32,
+    /// Epoch-mark + stack scratch for admissibility BFS and region walks
+    /// (the scratch's u32 stack is the FIFO queue storage, drained with a
+    /// cursor so order matches the original `VecDeque` traversal and the
+    /// op counts stay identical).
+    nb: NeighborhoodScratch,
+    /// Rebuild-region vertex buffer (sorted).
+    region: Vec<VertexId>,
+    /// Global id → local id inside the current region (valid for marked).
+    lpos: Vec<u32>,
+    /// Neighbour-list buffer for [`DeltaGraph::neighbors_into`].
+    nbuf: Vec<VertexId>,
+    /// Reusable local-subgraph for regional rebuilds.
+    local: Graph,
+    /// DSW scratch + result reused by every regional rebuild.
+    dsw: DswScratch,
+    dsw_result: ChordalResult,
 }
 
 impl IncrementalChordal {
@@ -91,9 +111,29 @@ impl IncrementalChordal {
             cost,
             clock: SimClock::default(),
             ops_total: 0,
-            scratch_mark: vec![0; n],
-            mark_gen: 0,
+            nb: NeighborhoodScratch::new(n),
+            region: Vec::new(),
+            lpos: vec![0; n],
+            nbuf: Vec::new(),
+            local: Graph::new(0),
+            dsw: DswScratch::default(),
+            dsw_result: ChordalResult {
+                graph: Graph::new(0),
+                order: Vec::new(),
+                work: WorkCounter::default(),
+            },
         }
+    }
+
+    /// Reset to the empty subgraph and a zeroed clock, **retaining every
+    /// scratch buffer and adjacency capacity** — a long-lived maintainer
+    /// can re-sync from a fresh stream (or replay one, as the perf
+    /// baseline's `inc-chordal-yng` workload does) without re-paying its
+    /// allocations.
+    pub fn reset(&mut self) {
+        self.h.clear_edges();
+        self.clock = SimClock::default();
+        self.ops_total = 0;
     }
 
     /// The maintained chordal subgraph.
@@ -192,41 +232,39 @@ impl IncrementalChordal {
     /// iff the common neighbourhood `S = N_H(u) ∩ N_H(v)` separates `u`
     /// from `v` (vertices in other components are trivially separated).
     fn admissible(&mut self, u: VertexId, v: VertexId, ops: &mut u64) -> bool {
-        // mark S (sorted-merge intersection of the two adjacency lists)
-        self.mark_gen += 1;
-        let gen = self.mark_gen;
-        let (nu, nv) = (self.h.neighbors(u), self.h.neighbors(v));
+        let h = &self.h;
+        let nb = &mut self.nb;
+        // mark S (adaptive intersection of the two adjacency lists)
+        nb.begin_marks();
+        let (nu, nv) = (h.neighbors(u), h.neighbors(v));
         *ops += (nu.len() + nv.len()) as u64 + 1;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    self.scratch_mark[nu[i] as usize] = gen;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        // BFS from u avoiding S; admissible iff v is unreachable
-        let mut q = VecDeque::new();
-        let visited_gen = gen; // reuse scratch: S-marked counts as visited
-        self.scratch_mark[u as usize] = visited_gen;
-        q.push_back(u);
-        while let Some(x) = q.pop_front() {
-            for &w in self.h.neighbors(x) {
+        nbhood::intersect_for_each(nu, nv, |w| nb.mark(w));
+        // BFS from u avoiding S; admissible iff v is unreachable. The
+        // queue is a Vec drained by cursor — same FIFO order (and hence
+        // the same op count at early exit) as a VecDeque.
+        nb.mark(u); // reuse the epoch: S-marked counts as visited
+        let mut queue = std::mem::take(&mut nb.stack);
+        queue.clear();
+        queue.push(u);
+        let mut head = 0usize;
+        let mut admissible = true;
+        'bfs: while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            for &w in h.neighbors(x) {
                 *ops += 1;
                 if w == v {
-                    return false;
+                    admissible = false;
+                    break 'bfs;
                 }
-                if self.scratch_mark[w as usize] != visited_gen {
-                    self.scratch_mark[w as usize] = visited_gen;
-                    q.push_back(w);
+                if !nb.is_marked(w) {
+                    nb.mark(w);
+                    queue.push(w);
                 }
             }
         }
-        true
+        nb.stack = queue;
+        admissible
     }
 
     /// Re-extract the `H`-components containing `seeds` from the current
@@ -235,58 +273,74 @@ impl IncrementalChordal {
         // region = union of H-components of the seed vertices (so no H
         // edge crosses the region boundary and the disjoint-union
         // argument applies)
-        self.mark_gen += 1;
-        let gen = self.mark_gen;
-        let mut region: Vec<VertexId> = Vec::new();
-        let mut q = VecDeque::new();
+        let nb = &mut self.nb;
+        let region = &mut self.region;
+        nb.begin_marks();
+        region.clear();
+        let mut queue = std::mem::take(&mut nb.stack);
+        queue.clear();
         for &s in seeds {
-            if self.scratch_mark[s as usize] == gen {
+            if nb.is_marked(s) {
                 continue;
             }
-            self.scratch_mark[s as usize] = gen;
+            nb.mark(s);
             region.push(s);
-            q.push_back(s);
-            while let Some(x) = q.pop_front() {
+            let mut head = queue.len();
+            queue.push(s);
+            while head < queue.len() {
+                let x = queue[head];
+                head += 1;
                 for &w in self.h.neighbors(x) {
                     *ops += 1;
-                    if self.scratch_mark[w as usize] != gen {
-                        self.scratch_mark[w as usize] = gen;
+                    if !nb.is_marked(w) {
+                        nb.mark(w);
                         region.push(w);
-                        q.push_back(w);
+                        queue.push(w);
                     }
                 }
             }
         }
+        nb.stack = queue;
         region.sort_unstable();
 
-        // local-id network subgraph induced by the region
-        let mut g2l = std::collections::BTreeMap::new();
+        // local-id network subgraph induced by the region; the region
+        // vertices are exactly the marked ones, so global → local is a
+        // mark probe + dense-array read instead of a tree lookup
         for (i, &v) in region.iter().enumerate() {
-            g2l.insert(v, i as VertexId);
+            self.lpos[v as usize] = i as u32;
         }
-        let mut local = Graph::new(region.len());
-        for &v in &region {
-            for w in net.neighbors(v) {
+        self.local.reset(region.len());
+        for &v in region.iter() {
+            net.neighbors_into(v, &mut self.nbuf);
+            for &w in &self.nbuf {
                 *ops += 1;
-                if v < w {
-                    if let Some(&lw) = g2l.get(&w) {
-                        local.add_edge(g2l[&v], lw);
-                    }
+                if v < w && nb.is_marked(w) {
+                    self.local
+                        .push_edge_unsorted(self.lpos[v as usize], self.lpos[w as usize]);
                 }
             }
         }
+        self.local.sort_adjacency();
 
-        // drop H inside the region, replace with a fresh DSW extraction
-        for &v in &region {
-            let nbrs: Vec<VertexId> = self.h.neighbors(v).to_vec();
-            for w in nbrs {
-                *ops += 1;
-                if v < w {
-                    self.h.remove_edge(v, w);
-                }
-            }
+        // drop H inside the region (component-closed, so a bulk clear
+        // removes exactly the region's edges), replace with a fresh DSW
+        // extraction from the reused scratch. The op charge matches the
+        // per-edge removal loop this replaces: each region edge was
+        // scanned once at its lower endpoint (the upper endpoint's list
+        // had already lost it), i.e. one op per region edge.
+        let mut region_deg2 = 0u64;
+        for &v in region.iter() {
+            region_deg2 += self.h.degree(v) as u64;
         }
-        let r = maximal_chordal_subgraph(&local, self.config);
+        *ops += region_deg2 / 2;
+        self.h.clear_component_edges(region);
+        maximal_chordal_subgraph_with(
+            &self.local,
+            self.config,
+            &mut self.dsw,
+            &mut self.dsw_result,
+        );
+        let r = &self.dsw_result;
         *ops += r.work.ops;
         for (lu, lv) in r.graph.edges() {
             self.h.add_edge(region[lu as usize], region[lv as usize]);
@@ -551,6 +605,39 @@ mod tests {
                 assert!(net.has_edge(u, v));
             }
         }
+    }
+
+    #[test]
+    fn reset_replays_bit_identically() {
+        // a reset maintainer must reproduce a fresh one exactly —
+        // subgraph, ops and simulated clock — across a delta replay
+        let (g, _) = planted_partition(100, 3, 8, 0.9, 60, 7);
+        let chunks: Vec<EdgeDelta> = g
+            .edge_vec()
+            .chunks(40)
+            .map(|c| EdgeDelta {
+                inserts: c.to_vec(),
+                removes: vec![],
+            })
+            .collect();
+        let replay = |inc: &mut IncrementalChordal| {
+            let mut net = DeltaGraph::new(100);
+            for d in &chunks {
+                net.apply(d);
+                inc.apply(d, &net);
+            }
+        };
+        let mut fresh = IncrementalChordal::new(100);
+        replay(&mut fresh);
+        let mut reused = IncrementalChordal::new(100);
+        replay(&mut reused);
+        reused.reset();
+        assert_eq!(reused.retained_edges(), 0);
+        assert_eq!(reused.sim_seconds(), 0.0);
+        replay(&mut reused);
+        assert!(reused.subgraph().same_edges(fresh.subgraph()));
+        assert_eq!(reused.total_ops(), fresh.total_ops());
+        assert_eq!(reused.sim_seconds(), fresh.sim_seconds());
     }
 
     #[test]

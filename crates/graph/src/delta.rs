@@ -97,6 +97,22 @@ impl DeltaGraph {
         self
     }
 
+    /// Drop every edge, keeping the vertex count, the epoch counter and —
+    /// crucially — all buffer capacity, so a long-lived delta graph can
+    /// replay a fresh stream without re-paying its allocations (the perf
+    /// baseline's `inc-chordal-yng` workload replays this way).
+    pub fn clear(&mut self) {
+        self.base.reset_empty(self.n());
+        for l in &mut self.add {
+            l.clear();
+        }
+        for l in &mut self.del {
+            l.clear();
+        }
+        self.m = 0;
+        self.pending = 0;
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -157,15 +173,38 @@ impl DeltaGraph {
     ///
     /// Panics if `v >= self.n()`.
     pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Write the live sorted neighbour list of `v` into `out` (cleared
+    /// first). Allocation-free once `out`'s capacity has ratcheted up —
+    /// the hot-loop variant of [`DeltaGraph::neighbors`], used by the
+    /// incremental chordal rebuilds to scan the network with one reusable
+    /// scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()`.
+    pub fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
         assert!(
             (v as usize) < self.n(),
             "vertex {v} out of range for delta graph with n={}",
             self.n()
         );
+        out.clear();
+        out.reserve(self.base.neighbors(v).len() + self.add[v as usize].len());
+        self.merge_neighbors_append(v, out);
+    }
+
+    /// Append the merged base+overlay neighbour list of `v` to `out`
+    /// without clearing it (the compactor streams every vertex into one
+    /// flat adjacency array this way).
+    fn merge_neighbors_append(&self, v: VertexId, out: &mut Vec<VertexId>) {
         let base = self.base.neighbors(v);
         let add = &self.add[v as usize];
         let del = &self.del[v as usize];
-        let mut out = Vec::with_capacity(base.len() + add.len() - del.len());
         let (mut bi, mut ai, mut di) = (0usize, 0usize, 0usize);
         while bi < base.len() || ai < add.len() {
             let take_base = match (base.get(bi), add.get(ai)) {
@@ -189,7 +228,6 @@ impl DeltaGraph {
                 ai += 1;
             }
         }
-        out
     }
 
     /// Insert the undirected edge `(u, v)`. Returns `true` if it was
@@ -257,15 +295,22 @@ impl DeltaGraph {
     }
 
     /// Fold the overlay into a fresh base CSR and advance the epoch.
-    /// No-op (epoch unchanged) when the overlay is empty.
+    /// No-op (epoch unchanged) when the overlay is empty. The merged
+    /// lists stream straight into the new CSR's flat arrays — two
+    /// allocations total instead of one per vertex.
     pub fn compact(&mut self) {
         if self.pending == 0 {
             return;
         }
-        let merged: Vec<Vec<VertexId>> = (0..self.n() as VertexId)
-            .map(|v| self.neighbors(v))
-            .collect();
-        self.base = Csr::from_sorted_adj(&merged);
+        let n = self.n();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy: Vec<VertexId> = Vec::with_capacity(2 * self.m);
+        xadj.push(0u32);
+        for v in 0..n as VertexId {
+            self.merge_neighbors_append(v, &mut adjncy);
+            xadj.push(adjncy.len() as u32);
+        }
+        self.base = Csr::from_parts(xadj, adjncy);
         for l in &mut self.add {
             l.clear();
         }
@@ -277,17 +322,14 @@ impl DeltaGraph {
     }
 
     /// Materialise the live graph as a plain [`Graph`] — the view every
-    /// downstream filter consumes. Does not compact.
+    /// downstream filter consumes. Does not compact. Builds the adjacency
+    /// lists directly from the merged base+overlay views (no per-edge
+    /// binary-search inserts).
     pub fn snapshot(&self) -> Graph {
-        let edges: Vec<Edge> = (0..self.n() as VertexId)
-            .flat_map(|u| {
-                self.neighbors(u)
-                    .into_iter()
-                    .filter(move |&w| u < w)
-                    .map(move |w| (u, w))
-            })
+        let adj: Vec<Vec<VertexId>> = (0..self.n() as VertexId)
+            .map(|v| self.neighbors(v))
             .collect();
-        Graph::from_edges(self.n(), &edges)
+        Graph::from_sorted_adj_vecs(adj, self.m)
     }
 
     /// Insert `v` into `lists[u]` and `u` into `lists[v]` (sorted).
@@ -451,6 +493,27 @@ mod tests {
             assert_eq!(d.neighbors(v), mirror.neighbors(v).to_vec(), "nbrs {v}");
             assert_eq!(d.degree(v), mirror.degree(v));
         }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_vertices_and_epoch() {
+        let g = gnm(30, 90, 3);
+        let mut d = DeltaGraph::from_graph(&g).with_compaction_threshold(8);
+        for k in 0..20u32 {
+            d.insert_edge(k, (k + 7) % 30);
+            d.remove_edge(k % 5, (k + 1) % 5);
+        }
+        d.compact();
+        let epoch = d.epoch();
+        d.clear();
+        assert_eq!(d.n(), 30);
+        assert_eq!(d.m(), 0);
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.epoch(), epoch, "clear keeps the epoch counter");
+        assert!(d.snapshot().same_edges(&Graph::new(30)));
+        // a cleared graph replays identically to a fresh one
+        assert!(d.insert_edge(1, 2));
+        assert_eq!(d.neighbors(1), vec![2]);
     }
 
     #[test]

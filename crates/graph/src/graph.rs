@@ -213,6 +213,96 @@ impl Graph {
         self.adj.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// Remove every edge, retaining the per-vertex adjacency capacity so
+    /// a reused output graph reaches a zero-allocation steady state (the
+    /// scratch-threaded DSW and MCODE entry points rely on this).
+    pub fn clear_edges(&mut self) {
+        for l in &mut self.adj {
+            l.clear();
+        }
+        self.m = 0;
+    }
+
+    /// Clear all edges and set the vertex count to `n`, reusing existing
+    /// per-vertex list capacity where possible.
+    pub fn reset(&mut self, n: usize) {
+        self.clear_edges();
+        // only growing allocates; repeated reuse at the same n is free
+        self.adj.resize_with(n, Vec::new);
+    }
+
+    /// Drop every edge of the subgraph induced by `verts`, a **sorted**
+    /// vertex set that is closed under adjacency (a union of connected
+    /// components — no edge may leave the set; debug-asserted). Because
+    /// both endpoints of every incident edge are in `verts`, clearing the
+    /// adjacency lists in place removes exactly those edges in `O(Σ deg)`
+    /// with capacity retained — the incremental chordal maintainer uses
+    /// this to drop a rebuild region without per-edge removals.
+    pub fn clear_component_edges(&mut self, verts: &[VertexId]) {
+        debug_assert!(
+            verts.windows(2).all(|w| w[0] < w[1]),
+            "verts must be sorted"
+        );
+        debug_assert!(
+            verts.iter().all(|&v| {
+                self.neighbors(v)
+                    .iter()
+                    .all(|w| verts.binary_search(w).is_ok())
+            }),
+            "verts must be closed under adjacency"
+        );
+        let mut dropped = 0usize;
+        for &v in verts {
+            dropped += self.adj[v as usize].len();
+            self.adj[v as usize].clear();
+        }
+        debug_assert_eq!(dropped % 2, 0);
+        self.m -= dropped / 2;
+    }
+
+    /// Append the undirected edge `(u, v)` to both adjacency lists
+    /// **without** restoring sorted order. Bulk builders (the DSW output
+    /// assembly, the parallel filters' local-graph construction) push all
+    /// edges and then call [`Graph::sort_adjacency`] once, replacing the
+    /// per-edge `O(d)` binary-search insert of [`Graph::add_edge`] with a
+    /// final `O(Σ d log d)` sort.
+    ///
+    /// The caller must guarantee `u != v`, in-range endpoints, and no
+    /// duplicate edges; until [`Graph::sort_adjacency`] runs, queries on
+    /// the graph are invalid. Violations are caught by debug assertions.
+    #[inline]
+    pub fn push_edge_unsorted(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!((u as usize) < self.n() && (v as usize) < self.n() && u != v);
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.m += 1;
+    }
+
+    /// Restore the sorted-adjacency invariant after a run of
+    /// [`Graph::push_edge_unsorted`] calls (sorts every list in place;
+    /// allocation-free). Debug builds verify no duplicates or self-loops
+    /// were pushed.
+    pub fn sort_adjacency(&mut self) {
+        for (v, l) in self.adj.iter_mut().enumerate() {
+            l.sort_unstable();
+            debug_assert!(
+                l.windows(2).all(|w| w[0] < w[1]),
+                "duplicate edges pushed at vertex {v}"
+            );
+            debug_assert!(!l.contains(&(v as VertexId)), "self-loop pushed at {v}");
+        }
+    }
+
+    /// Assemble a graph directly from per-vertex **sorted, symmetric**
+    /// adjacency lists with `m` undirected edges (debug-asserted). Used
+    /// by bulk producers (the delta-graph snapshot) that already hold the
+    /// merged lists and would otherwise pay per-edge inserts.
+    pub(crate) fn from_sorted_adj_vecs(adj: Vec<Vec<VertexId>>, m: usize) -> Graph {
+        debug_assert!(adj.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        debug_assert_eq!(adj.iter().map(Vec::len).sum::<usize>(), 2 * m);
+        Graph { adj, m }
+    }
+
     /// Freeze into a CSR view for cache-friendly read-only traversal.
     pub fn to_csr(&self) -> Csr {
         let mut xadj = Vec::with_capacity(self.n() + 1);
@@ -243,18 +333,29 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Assemble a CSR directly from per-vertex sorted adjacency lists
-    /// (used by the delta-graph compactor, which merges overlays without
-    /// paying `Graph::add_edge`'s per-edge binary searches).
-    pub(crate) fn from_sorted_adj(adj: &[Vec<VertexId>]) -> Csr {
-        let mut xadj = Vec::with_capacity(adj.len() + 1);
-        let mut adjncy = Vec::with_capacity(adj.iter().map(Vec::len).sum());
-        xadj.push(0u32);
-        for nbrs in adj {
-            debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
-            adjncy.extend_from_slice(nbrs);
-            xadj.push(adjncy.len() as u32);
-        }
+    /// Reset to an edgeless CSR over `n` vertices, retaining the backing
+    /// buffers (the delta-graph `clear` relies on this for allocation-free
+    /// reuse).
+    pub(crate) fn reset_empty(&mut self, n: usize) {
+        self.xadj.clear();
+        self.xadj.resize(n + 1, 0);
+        self.adjncy.clear();
+    }
+
+    /// Assemble a CSR from pre-built offset + adjacency arrays (the
+    /// delta-graph compactor streams its merged neighbour lists straight
+    /// into these, avoiding any per-vertex intermediate allocation).
+    /// Offsets must be non-decreasing with `xadj[0] == 0` and every list
+    /// sorted (debug-asserted).
+    pub(crate) fn from_parts(xadj: Vec<u32>, adjncy: Vec<VertexId>) -> Csr {
+        debug_assert!(!xadj.is_empty() && xadj[0] == 0);
+        debug_assert_eq!(*xadj.last().unwrap() as usize, adjncy.len());
+        debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(xadj.windows(2).all(|w| {
+            adjncy[w[0] as usize..w[1] as usize]
+                .windows(2)
+                .all(|p| p[0] < p[1])
+        }));
         Csr { xadj, adjncy }
     }
 
@@ -447,6 +548,29 @@ mod tests {
         let one = Graph::new(1);
         assert_eq!(one.try_neighbors(0), Some(&[][..]));
         assert_eq!(one.to_csr().try_neighbors(0), Some(&[][..]));
+    }
+
+    #[test]
+    fn bulk_build_matches_add_edge() {
+        let edges = [(3u32, 1u32), (0, 4), (1, 0), (4, 1), (2, 4)];
+        let incremental = Graph::from_edges(5, &edges);
+        let mut bulk = Graph::new(5);
+        for &(u, v) in &edges {
+            bulk.push_edge_unsorted(u, v);
+        }
+        bulk.sort_adjacency();
+        assert!(bulk.same_edges(&incremental));
+        assert_eq!(bulk.m(), incremental.m());
+        // clear_edges keeps the vertex set, drops every edge
+        bulk.clear_edges();
+        assert_eq!(bulk.n(), 5);
+        assert_eq!(bulk.m(), 0);
+        assert!(bulk.neighbors(1).is_empty());
+        // reset can grow and shrink the vertex set
+        bulk.reset(7);
+        assert_eq!(bulk.n(), 7);
+        bulk.reset(2);
+        assert_eq!((bulk.n(), bulk.m()), (2, 0));
     }
 
     #[test]

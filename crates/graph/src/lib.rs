@@ -16,6 +16,10 @@
 //!   Barabási–Albert, planted-partition, caveman chains).
 //! * [`algo`] — BFS, connected components, triangles, k-cores, density and
 //!   other small analyses used by MCODE and the evaluation harness.
+//! * [`nbhood`] — zero-allocation neighbourhood kernels: adaptive
+//!   merge/galloping/bitset sorted-set intersection behind one API, plus
+//!   the reusable [`NeighborhoodScratch`] threaded through every hot
+//!   graph consumer (DSW, MCODE, incremental chordal, streaming).
 //!
 //! All randomised entry points take an explicit `u64` seed and are
 //! deterministic for a given seed, which is what makes every figure in the
@@ -27,11 +31,13 @@ pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod nbhood;
 pub mod ordering;
 pub mod partition;
 
 pub use crate::delta::{DeltaGraph, EdgeDelta};
 pub use crate::graph::{Csr, Edge, Graph, VertexId};
+pub use crate::nbhood::NeighborhoodScratch;
 pub use crate::ordering::{apply_ordering, ordering_permutation, OrderingKind};
 pub use crate::partition::{BorderEdges, Partition, PartitionKind, RankEdges};
 

@@ -21,8 +21,7 @@
 //! reports; the paper keeps clusters scoring ≥ 3.0 ("scores of 2.9 or
 //! lower tend to indicate small cliques, or K3 graphs").
 
-use casbn_graph::algo::highest_kcore;
-use casbn_graph::{Edge, Graph, VertexId};
+use casbn_graph::{Edge, Graph, NeighborhoodScratch, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// MCODE parameters. `Default` mirrors the defaults the paper used.
@@ -85,175 +84,410 @@ impl Cluster {
     }
 }
 
+/// Reusable scratch for the allocation-free MCODE entry points
+/// ([`vertex_weights_with`], [`mcode_cluster_into`]): the neighbourhood
+/// mark scratch, the local-subgraph buffers of the weighting stage, the
+/// k-core peel arrays and the complex-growth work lists. Sized on first
+/// use and reused across runs — the streaming driver re-clusters every
+/// window with one scratch, and repeated clustering passes reach a
+/// zero-allocation steady state (`tests/alloc_regression.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct McodeScratch {
+    /// Mark/bitset scratch shared by every membership test.
+    nb: NeighborhoodScratch,
+    /// Global id → local position inside the current neighbourhood
+    /// (valid only for vertices marked in the current epoch).
+    lpos: Vec<u32>,
+    /// Local adjacency pool of the neighbourhood subgraph.
+    ladj: Vec<Vec<u32>>,
+    /// k-core peel arrays (Batagelj–Zaveršnik) over local ids.
+    ldeg: Vec<usize>,
+    lbin: Vec<usize>,
+    lpot: Vec<usize>,
+    lvert: Vec<usize>,
+    lcore: Vec<usize>,
+    /// Per-vertex MCODE weights of the current graph.
+    weights: Vec<f64>,
+    /// Seed processing order (descending weight).
+    order: Vec<VertexId>,
+    assigned: Vec<bool>,
+    /// Complex growth + post-processing work lists.
+    members: Vec<VertexId>,
+    queue: Vec<VertexId>,
+    keep: Vec<VertexId>,
+    /// Recycled `Cluster` shells whose last candidate fell below the
+    /// score cut — kept here (instead of being truncated away with their
+    /// buffers) so rejected-cluster churn allocates nothing in steady
+    /// state.
+    spare: Vec<Cluster>,
+}
+
+impl McodeScratch {
+    /// Scratch pre-sized for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut s = McodeScratch::default();
+        s.ensure(n);
+        s
+    }
+
+    /// Grow (never shrink) to cover `n` vertices.
+    fn ensure(&mut self, n: usize) {
+        self.nb.ensure(n);
+        if self.lpos.len() < n {
+            self.lpos.resize(n, 0);
+            self.assigned.resize(n, false);
+        }
+    }
+
+    /// Ensure the local-subgraph pools cover `d` local vertices.
+    fn ensure_local(&mut self, d: usize) {
+        if self.ladj.len() < d {
+            self.ladj.resize_with(d, Vec::new);
+            self.ldeg.resize(d, 0);
+            self.lpot.resize(d, 0);
+            self.lvert.resize(d, 0);
+            self.lcore.resize(d, 0);
+        }
+        if self.lbin.len() < d + 2 {
+            self.lbin.resize(d + 2, 0);
+        }
+    }
+
+    /// MCODE weight of `v`: build the neighbourhood subgraph in the local
+    /// pools via the materialised-mark intersection path, peel its k-core
+    /// and score `k × density(highest k-core)`.
+    fn weight_of(&mut self, g: &Graph, v: VertexId) -> f64 {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len();
+        if d < 2 {
+            return 0.0;
+        }
+        self.ensure_local(d);
+        // materialise N(v) into the scratch bitset: every per-member
+        // adjacency scan below is then a one-bit probe — the kernels'
+        // "one side already materialised" intersection path
+        self.nb.load_bitset(nbrs);
+        for (i, &w) in nbrs.iter().enumerate() {
+            self.lpos[w as usize] = i as u32;
+        }
+        for (i, &x) in nbrs.iter().enumerate() {
+            let l = &mut self.ladj[i];
+            l.clear();
+            for &w in g.neighbors(x) {
+                if self.nb.bitset_contains(w) {
+                    l.push(self.lpos[w as usize]);
+                }
+            }
+        }
+        // Batagelj–Zaveršnik bucket peel over the local ids
+        let (k, core_size, core_edges2) = self.peel_highest_core(d);
+        if k == 0 {
+            return 0.0;
+        }
+        // density of the highest k-core, exactly as Graph::density computes
+        let density = if core_size < 2 {
+            0.0
+        } else {
+            core_edges2 as f64 / (core_size as f64 * (core_size as f64 - 1.0))
+        };
+        k as f64 * density
+    }
+
+    /// Peel the local subgraph (`d` vertices, adjacency in `ladj`);
+    /// returns the max core number `k`, the highest k-core's vertex count
+    /// and twice its edge count.
+    fn peel_highest_core(&mut self, d: usize) -> (usize, usize, usize) {
+        let (deg, bin, pos, vert, core) = (
+            &mut self.ldeg,
+            &mut self.lbin,
+            &mut self.lpot,
+            &mut self.lvert,
+            &mut self.lcore,
+        );
+        let mut maxd = 0usize;
+        for (di, l) in deg[..d].iter_mut().zip(&self.ladj[..d]) {
+            *di = l.len();
+            maxd = maxd.max(*di);
+        }
+        bin[..maxd + 2].fill(0);
+        for i in 0..d {
+            bin[deg[i]] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin[..maxd + 2].iter_mut() {
+            let cnt = *b;
+            *b = start;
+            start += cnt;
+        }
+        for i in 0..d {
+            pos[i] = bin[deg[i]];
+            vert[pos[i]] = i;
+            bin[deg[i]] += 1;
+        }
+        for b in (1..maxd + 2).rev() {
+            bin[b] = bin[b - 1];
+        }
+        bin[0] = 0;
+        for i in 0..d {
+            let v = vert[i];
+            for j in 0..self.ladj[v].len() {
+                let w = self.ladj[v][j] as usize;
+                if deg[w] > deg[v] {
+                    let dw = deg[w];
+                    let pw = pos[w];
+                    let ps = bin[dw];
+                    let s = vert[ps];
+                    if w != s {
+                        vert[pw] = s;
+                        vert[ps] = w;
+                        pos[w] = ps;
+                        pos[s] = pw;
+                    }
+                    bin[dw] += 1;
+                    deg[w] -= 1;
+                }
+            }
+            core[v] = deg[v];
+        }
+        let k = core[..d].iter().copied().max().unwrap_or(0);
+        let mut core_size = 0usize;
+        let mut core_edges2 = 0usize; // twice the edge count
+        for i in 0..d {
+            if core[i] != k {
+                continue;
+            }
+            core_size += 1;
+            core_edges2 += self.ladj[i]
+                .iter()
+                .filter(|&&j| core[j as usize] == k)
+                .count();
+        }
+        (k, core_size, core_edges2)
+    }
+}
+
 /// MCODE vertex weights: `core number × density of the highest k-core of
-/// the open neighbourhood`.
+/// the open neighbourhood`. Allocates fresh scratch; repeated callers
+/// should use [`vertex_weights_with`].
 pub fn vertex_weights(g: &Graph) -> Vec<f64> {
-    (0..g.n() as VertexId)
-        .map(|v| {
-            let nbrs = g.neighbors(v);
-            if nbrs.len() < 2 {
-                return 0.0;
-            }
-            let (sub, _) = g.induced_subgraph(nbrs);
-            let (k, core_verts) = highest_kcore(&sub);
-            if k == 0 {
-                return 0.0;
-            }
-            let (core_sub, _) = sub.induced_subgraph(&core_verts);
-            k as f64 * core_sub.density()
-        })
-        .collect()
+    let mut weights = Vec::new();
+    vertex_weights_with(g, &mut McodeScratch::new(g.n()), &mut weights);
+    weights
+}
+
+/// Scratch-threaded [`vertex_weights`]: identical values, written into
+/// `weights` (cleared first) with every buffer reused from `scratch`.
+pub fn vertex_weights_with(g: &Graph, scratch: &mut McodeScratch, weights: &mut Vec<f64>) {
+    scratch.ensure(g.n());
+    weights.clear();
+    weights.reserve(g.n());
+    for v in 0..g.n() as VertexId {
+        let w = scratch.weight_of(g, v);
+        weights.push(w);
+    }
 }
 
 /// Run MCODE on `g` and return clusters with score ≥ `params.min_score`,
 /// sorted by descending score (ties: larger first, then smallest seed).
+///
+/// Allocates fresh scratch per call; hot paths that cluster repeatedly
+/// (the streaming driver's per-window re-clustering) should hold a
+/// [`McodeScratch`] + output vector and call [`mcode_cluster_into`].
 pub fn mcode_cluster(g: &Graph, params: &McodeParams) -> Vec<Cluster> {
-    let w = vertex_weights(g);
-    let mut order: Vec<VertexId> = (0..g.n() as VertexId).collect();
-    order.sort_by(|&a, &b| {
+    let mut clusters = Vec::new();
+    mcode_cluster_into(g, params, &mut McodeScratch::new(g.n()), &mut clusters);
+    clusters
+}
+
+/// Scratch-threaded MCODE: identical clusters to [`mcode_cluster`],
+/// written into `out`. Existing `Cluster` entries in `out` are recycled
+/// (their vertex/edge buffers are cleared and refilled), so repeated
+/// clustering with a reused output vector reaches a zero-allocation
+/// steady state.
+pub fn mcode_cluster_into(
+    g: &Graph,
+    params: &McodeParams,
+    scratch: &mut McodeScratch,
+    out: &mut Vec<Cluster>,
+) {
+    scratch.ensure(g.n());
+    let mut weights = std::mem::take(&mut scratch.weights);
+    vertex_weights_with(g, scratch, &mut weights);
+    let w = &weights;
+
+    let mut order = std::mem::take(&mut scratch.order);
+    order.clear();
+    order.extend(0..g.n() as VertexId);
+    // the comparator is a total order (ties broken by label), so the
+    // allocation-free unstable sort is deterministic
+    order.sort_unstable_by(|&a, &b| {
         w[b as usize]
             .partial_cmp(&w[a as usize])
             .unwrap()
             .then(a.cmp(&b))
     });
 
-    let mut assigned = vec![false; g.n()];
-    let mut clusters = Vec::new();
+    scratch.assigned[..g.n()].fill(false);
+    let mut used = 0usize;
     for &seed in &order {
-        if assigned[seed as usize] || w[seed as usize] <= 0.0 {
+        if scratch.assigned[seed as usize] || w[seed as usize] <= 0.0 {
             continue;
         }
-        let members = grow_complex(g, &w, seed, params, &assigned);
-        if members.len() < 2 {
+        grow_complex(g, w, seed, params, scratch);
+        if scratch.members.len() < 2 {
             continue;
         }
-        let members = if params.haircut {
-            haircut(g, members)
-        } else {
-            members
-        };
-        let members = if let Some(fluff_t) = params.fluff {
-            fluff(g, &w, members, fluff_t)
-        } else {
-            members
-        };
-        if members.len() < params.min_size {
+        if params.haircut {
+            haircut(g, scratch);
+        }
+        if let Some(fluff_t) = params.fluff {
+            fluff(g, w, fluff_t, scratch);
+        }
+        if scratch.members.len() < params.min_size {
             continue;
         }
-        for &v in &members {
-            assigned[v as usize] = true;
+        for &v in &scratch.members {
+            scratch.assigned[v as usize] = true;
         }
-        let cluster = finish_cluster(g, members, seed);
-        if cluster.score >= params.min_score {
-            clusters.push(cluster);
+        if finish_cluster(g, seed, scratch, out, used, params.min_score) {
+            used += 1;
         }
     }
-    clusters.sort_by(|a, b| {
+    // park (don't drop) any below-cut trailing slot so its buffers are
+    // recycled next run instead of re-allocated
+    scratch.spare.extend(out.drain(used..));
+    out.sort_unstable_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
             .unwrap()
             .then(b.size().cmp(&a.size()))
             .then(a.seed.cmp(&b.seed))
     });
-    clusters
+
+    scratch.order = order;
+    scratch.weights = weights;
 }
 
-/// BFS outward from the seed, admitting vertices whose weight clears the
-/// VWP threshold. A vertex is visited once per complex (MCODE rule).
-fn grow_complex(
-    g: &Graph,
-    w: &[f64],
-    seed: VertexId,
-    params: &McodeParams,
-    assigned: &[bool],
-) -> Vec<VertexId> {
+/// BFS outward from the seed into `scratch.members`, admitting vertices
+/// whose weight clears the VWP threshold. A vertex is visited once per
+/// complex (MCODE rule); membership is tracked with epoch marks.
+fn grow_complex(g: &Graph, w: &[f64], seed: VertexId, params: &McodeParams, s: &mut McodeScratch) {
     let threshold = (1.0 - params.vwp) * w[seed as usize];
-    let mut in_complex = vec![false; g.n()];
-    let mut members = vec![seed];
-    in_complex[seed as usize] = true;
-    let mut queue = vec![seed];
-    while let Some(v) = queue.pop() {
+    s.nb.begin_marks();
+    s.members.clear();
+    s.queue.clear();
+    s.nb.mark(seed);
+    s.members.push(seed);
+    s.queue.push(seed);
+    while let Some(v) = s.queue.pop() {
         for &u in g.neighbors(v) {
-            if in_complex[u as usize] || assigned[u as usize] {
+            if s.nb.is_marked(u) || s.assigned[u as usize] {
                 continue;
             }
             if w[u as usize] > threshold {
-                in_complex[u as usize] = true;
-                members.push(u);
-                queue.push(u);
+                s.nb.mark(u);
+                s.members.push(u);
+                s.queue.push(u);
             }
         }
     }
-    members.sort_unstable();
-    members
+    s.members.sort_unstable();
 }
 
-/// Iteratively remove vertices with < 2 connections inside the complex.
-fn haircut(g: &Graph, mut members: Vec<VertexId>) -> Vec<VertexId> {
+/// Iteratively remove vertices with < 2 connections inside the complex
+/// (in `scratch.members`, ping-ponging through `scratch.keep`).
+fn haircut(g: &Graph, s: &mut McodeScratch) {
     loop {
-        let set: std::collections::BTreeSet<VertexId> = members.iter().copied().collect();
-        let keep: Vec<VertexId> = members
-            .iter()
-            .copied()
-            .filter(|&v| g.neighbors(v).iter().filter(|&&u| set.contains(&u)).count() >= 2)
-            .collect();
-        if keep.len() == members.len() {
-            return keep;
+        s.nb.load_marks(&s.members);
+        s.keep.clear();
+        for &v in &s.members {
+            let mut inside = 0usize;
+            for &u in g.neighbors(v) {
+                if s.nb.is_marked(u) {
+                    inside += 1;
+                    if inside >= 2 {
+                        break;
+                    }
+                }
+            }
+            if inside >= 2 {
+                s.keep.push(v);
+            }
         }
-        members = keep;
-        if members.is_empty() {
-            return members;
+        if s.keep.len() == s.members.len() {
+            return;
+        }
+        std::mem::swap(&mut s.members, &mut s.keep);
+        if s.members.is_empty() {
+            return;
         }
     }
 }
 
 /// Add boundary neighbours whose neighbourhood density exceeds the fluff
-/// threshold (single pass, per MCODE).
-fn fluff(g: &Graph, w: &[f64], members: Vec<VertexId>, threshold: f64) -> Vec<VertexId> {
-    let set: std::collections::BTreeSet<VertexId> = members.iter().copied().collect();
-    let mut extra = Vec::new();
-    for &v in &members {
+/// threshold (single pass, per MCODE); extends `scratch.members`.
+fn fluff(g: &Graph, w: &[f64], threshold: f64, s: &mut McodeScratch) {
+    s.nb.load_marks(&s.members);
+    let base = s.members.len();
+    for i in 0..base {
+        let v = s.members[i];
         for &u in g.neighbors(v) {
-            if set.contains(&u) || extra.contains(&u) {
+            // marked = already a member or already fluffed in
+            if s.nb.is_marked(u) {
                 continue;
             }
             // MCODE fluffs on neighbourhood density; vertex weight is a
             // monotone proxy already computed
             if w[u as usize] > threshold {
-                extra.push(u);
+                s.nb.mark(u);
+                s.members.push(u);
             }
         }
     }
-    let mut out = members;
-    out.extend(extra);
-    out.sort_unstable();
-    out.dedup();
-    out
+    s.members.sort_unstable();
 }
 
-fn finish_cluster(g: &Graph, members: Vec<VertexId>, seed: VertexId) -> Cluster {
-    let set: std::collections::BTreeSet<VertexId> = members.iter().copied().collect();
-    let mut edges: Vec<Edge> = Vec::new();
-    for &v in &members {
+/// Materialise `scratch.members` into the pooled cluster `out[used]`
+/// (recycling its buffers); returns whether the cluster clears
+/// `min_score` and should be kept.
+fn finish_cluster(
+    g: &Graph,
+    seed: VertexId,
+    s: &mut McodeScratch,
+    out: &mut Vec<Cluster>,
+    used: usize,
+    min_score: f64,
+) -> bool {
+    if out.len() == used {
+        out.push(s.spare.pop().unwrap_or(Cluster {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            score: 0.0,
+            seed: 0,
+        }));
+    }
+    let c = &mut out[used];
+    s.nb.load_marks(&s.members);
+    c.vertices.clear();
+    c.vertices.extend_from_slice(&s.members);
+    c.edges.clear();
+    for &v in &s.members {
         for &u in g.neighbors(v) {
-            if v < u && set.contains(&u) {
-                edges.push((v, u));
+            if v < u && s.nb.is_marked(u) {
+                c.edges.push((v, u));
             }
         }
     }
-    edges.sort_unstable();
-    let n = members.len() as f64;
-    let density = if members.len() < 2 {
+    c.edges.sort_unstable();
+    let n = c.vertices.len() as f64;
+    let density = if c.vertices.len() < 2 {
         0.0
     } else {
-        2.0 * edges.len() as f64 / (n * (n - 1.0))
+        2.0 * c.edges.len() as f64 / (n * (n - 1.0))
     };
-    Cluster {
-        score: density * n,
-        vertices: members,
-        edges,
-        seed,
-    }
+    c.score = density * n;
+    c.seed = seed;
+    c.score >= min_score
 }
 
 #[cfg(test)]
@@ -429,6 +663,42 @@ mod tests {
     fn empty_graph_no_clusters() {
         assert!(mcode_cluster(&Graph::new(0), &McodeParams::default()).is_empty());
         assert!(mcode_cluster(&Graph::new(10), &McodeParams::default()).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_graphs() {
+        // one scratch + cluster pool reused across very different graphs
+        // (and with fluff on/off) must reproduce the fresh-allocation
+        // entry points exactly — weights, clusters, scores, edges
+        let mut scratch = McodeScratch::new(0);
+        let mut pool: Vec<Cluster> = Vec::new();
+        let mut weights = Vec::new();
+        let graphs = [
+            planted_partition(300, 6, 10, 0.9, 150, 9).0,
+            clique(7),
+            gnm(120, 360, 5),
+            Graph::new(4),
+            planted_partition(200, 3, 12, 0.95, 80, 2).0,
+        ];
+        let configs = [
+            McodeParams::default(),
+            McodeParams {
+                fluff: Some(0.4),
+                haircut: false,
+                min_score: 0.0,
+                min_size: 3,
+                ..Default::default()
+            },
+        ];
+        for params in &configs {
+            for g in &graphs {
+                vertex_weights_with(g, &mut scratch, &mut weights);
+                assert_eq!(weights, vertex_weights(g), "weights drifted");
+                mcode_cluster_into(g, params, &mut scratch, &mut pool);
+                let fresh = mcode_cluster(g, params);
+                assert_eq!(pool, fresh, "clusters drifted");
+            }
+        }
     }
 
     #[test]

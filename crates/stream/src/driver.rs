@@ -6,10 +6,9 @@ use crate::online::OnlineCorrelation;
 use casbn_core::IncrementalChordal;
 use casbn_distsim::CostModel;
 use casbn_expr::{ExpressionMatrix, NetworkParams};
-use casbn_graph::{DeltaGraph, VertexId};
-use casbn_mcode::{mcode_cluster, McodeParams};
+use casbn_graph::{nbhood, DeltaGraph, VertexId};
+use casbn_mcode::{mcode_cluster_into, Cluster, McodeParams, McodeScratch};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Configuration of a streaming run.
@@ -104,7 +103,16 @@ pub struct StreamDriver {
     net: DeltaGraph,
     chordal: IncrementalChordal,
     cfg: StreamConfig,
-    prev_clustered: BTreeSet<VertexId>,
+    /// Clustered-vertex set of the previous window, sorted ascending
+    /// (clusters are disjoint, so a sorted flat list is a set).
+    prev_clustered: Vec<VertexId>,
+    /// Current window's clustered-vertex buffer (swapped with the above).
+    cur_clustered: Vec<VertexId>,
+    /// MCODE scratch + cluster pool reused by every window's
+    /// re-clustering — the per-window pipeline allocates nothing in
+    /// steady state beyond capacity ratcheting.
+    mcode_scratch: McodeScratch,
+    clusters: Vec<Cluster>,
     windows: Vec<WindowReport>,
     sim_ingest_last: f64,
     sim_chordal_last: f64,
@@ -122,7 +130,10 @@ impl StreamDriver {
                 cfg.cost,
             ),
             cfg,
-            prev_clustered: BTreeSet::new(),
+            prev_clustered: Vec::new(),
+            cur_clustered: Vec::new(),
+            mcode_scratch: McodeScratch::new(genes),
+            clusters: Vec::new(),
             windows: Vec::new(),
             sim_ingest_last: 0.0,
             sim_chordal_last: 0.0,
@@ -151,13 +162,24 @@ impl StreamDriver {
         self.net.apply(&delta);
         self.chordal.apply(&delta, &self.net);
 
-        let clusters = mcode_cluster(self.chordal.subgraph(), &self.cfg.mcode);
-        let clustered: BTreeSet<VertexId> = clusters
-            .iter()
-            .flat_map(|c| c.vertices.iter().copied())
-            .collect();
-        let stability = jaccard(&self.prev_clustered, &clustered);
-        self.prev_clustered = clustered;
+        mcode_cluster_into(
+            self.chordal.subgraph(),
+            &self.cfg.mcode,
+            &mut self.mcode_scratch,
+            &mut self.clusters,
+        );
+        let clusters = &self.clusters;
+        self.cur_clustered.clear();
+        for c in clusters {
+            self.cur_clustered.extend_from_slice(&c.vertices);
+        }
+        // clusters are vertex-disjoint under default MCODE parameters,
+        // but fluff can pull the same boundary vertex into two clusters —
+        // dedup so the Jaccard inputs are true sets either way
+        self.cur_clustered.sort_unstable();
+        self.cur_clustered.dedup();
+        let stability = jaccard(&self.prev_clustered, &self.cur_clustered);
+        std::mem::swap(&mut self.prev_clustered, &mut self.cur_clustered);
 
         let sim_ingest_total = self.online.work_ops() as f64 * self.cfg.cost.seconds_per_op;
         let sim_ingest = sim_ingest_total - self.sim_ingest_last;
@@ -227,12 +249,13 @@ impl StreamDriver {
     }
 }
 
-/// Jaccard similarity of two vertex sets; 1.0 when both are empty.
-fn jaccard(a: &BTreeSet<VertexId>, b: &BTreeSet<VertexId>) -> f64 {
+/// Jaccard similarity of two sorted vertex sets; 1.0 when both are
+/// empty. The intersection runs on the adaptive neighbourhood kernel.
+fn jaccard(a: &[VertexId], b: &[VertexId]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let inter = a.intersection(b).count();
+    let inter = nbhood::intersect_count(a, b);
     let union = a.len() + b.len() - inter;
     inter as f64 / union as f64
 }
@@ -359,11 +382,11 @@ mod tests {
 
     #[test]
     fn jaccard_edges_and_rebuild_cost() {
-        let a: BTreeSet<VertexId> = [1, 2, 3].into_iter().collect();
-        let b: BTreeSet<VertexId> = [2, 3, 4].into_iter().collect();
-        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
-        assert_eq!(jaccard(&BTreeSet::new(), &BTreeSet::new()), 1.0);
-        assert_eq!(jaccard(&a, &BTreeSet::new()), 0.0);
+        let a: &[VertexId] = &[1, 2, 3];
+        let b: &[VertexId] = &[2, 3, 4];
+        assert!((jaccard(a, b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(a, &[]), 0.0);
 
         let cost = CostModel::default();
         let r = rebuild_sim_seconds(100, 10, 500, cost);

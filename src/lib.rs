@@ -7,7 +7,8 @@
 //! This facade crate re-exports the whole workspace so downstream users can
 //! depend on a single crate:
 //!
-//! * [`graph`] — graph structures, orderings, partitioners, generators.
+//! * [`graph`] — graph structures, orderings, partitioners, generators,
+//!   and the zero-allocation neighbourhood kernels (`graph::nbhood`).
 //! * [`expr`] — synthetic microarray data and Pearson correlation networks.
 //! * [`chordal`] — chordality testing and maximal chordal subgraphs.
 //! * [`distsim`] — the distributed-memory (MPI-like) execution substrate.
@@ -58,7 +59,9 @@ pub mod prelude {
         classify_quadrants, lost_and_found, overlap_table, ClusterComparison, Quadrant,
         SensitivitySpecificity,
     };
-    pub use casbn_chordal::{is_chordal, maximal_chordal_subgraph};
+    pub use casbn_chordal::{
+        is_chordal, maximal_chordal_subgraph, maximal_chordal_subgraph_with, DswScratch,
+    };
     pub use casbn_core::IncrementalChordal;
     pub use casbn_core::{
         break_cycles, Filter, FilterOutput, ForestFireFilter, ParallelChordalCommFilter,
@@ -67,10 +70,10 @@ pub mod prelude {
     };
     pub use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
     pub use casbn_graph::{
-        apply_ordering, DeltaGraph, EdgeDelta, Graph, OrderingKind, Partition, PartitionKind,
-        VertexId,
+        apply_ordering, DeltaGraph, EdgeDelta, Graph, NeighborhoodScratch, OrderingKind, Partition,
+        PartitionKind, VertexId,
     };
-    pub use casbn_mcode::{mcode_cluster, Cluster, McodeParams};
+    pub use casbn_mcode::{mcode_cluster, mcode_cluster_into, Cluster, McodeParams, McodeScratch};
     pub use casbn_ontology::{enrich_cluster, AnnotatedOntology, EnrichmentScorer, GoDag};
     pub use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 }
