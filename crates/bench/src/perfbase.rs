@@ -25,6 +25,7 @@ use casbn_distsim::CostModel;
 use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
 use casbn_graph::{DeltaGraph, EdgeDelta, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster_into, Cluster, McodeParams, McodeScratch};
+use casbn_store::{Store, StoreWriter};
 use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -229,6 +230,7 @@ fn mcode_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
 /// | `dsw-cre` | same on the larger CRE network |
 /// | `mcode-yng` | steady-state MCODE clustering of the YNG network (scratch-threaded) |
 /// | `mcode-cre` | same on the larger CRE network |
+/// | `store-load-yng` | parse + zero-copy CSR reconstruction of the YNG network from an in-memory `.csbn` container |
 /// | `nocomm-yng-p1` | no-comm parallel chordal filter, 1 rank |
 /// | `nocomm-yng-p4` | no-comm parallel chordal filter, 4 ranks |
 /// | `nocomm-yng-p8` | no-comm parallel chordal filter, 8 ranks |
@@ -263,6 +265,30 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: cre_net.graph.m() as u64,
+    });
+
+    // Artifact-store workload: the YNG network is packed into a .csbn
+    // container outside the timed region; each repeat parses the
+    // container (full checksum validation) and reconstructs the CSR
+    // from the section bytes — the load path `casbn filter --in x.csbn`
+    // takes, minus the filesystem read. Its checksum is the loaded edge
+    // count, which must match the Pearson workload's.
+    let store_bytes = {
+        let mut w = StoreWriter::new();
+        casbn_graph::store::add_graph(&mut w, 0, &yng_net.graph);
+        w.to_bytes()
+    };
+    let (wall, loaded_edges) = timed(repeats, || {
+        let store = Store::parse(&store_bytes).expect("freshly written container parses");
+        casbn_graph::store::load_csr(&store, 0)
+            .expect("freshly written graph section loads")
+            .m()
+    });
+    results.push(WorkloadResult {
+        name: "store-load-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: loaded_edges as u64,
     });
 
     // Filter + clustering workloads run on the YNG network, with the
@@ -528,6 +554,7 @@ mod tests {
         for expected in [
             "pearson-yng",
             "pearson-cre",
+            "store-load-yng",
             "dsw-yng",
             "dsw-cre",
             "mcode-yng",

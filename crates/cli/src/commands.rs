@@ -6,10 +6,11 @@ use casbn_core::{
     Filter, ForestFireFilter, ParallelChordalCommFilter, ParallelChordalNoCommFilter,
     ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter, SequentialChordalFilter,
 };
-use casbn_expr::{DatasetPreset, NetworkParams};
+use casbn_expr::{DatasetPreset, ExpressionMatrix, NetworkParams};
 use casbn_graph::io::{read_edge_list, write_edge_list};
-use casbn_graph::{Graph, PartitionKind};
-use casbn_mcode::{mcode_cluster, McodeParams};
+use casbn_graph::{store as graph_store, Graph, PartitionKind};
+use casbn_mcode::{mcode_cluster, store as mcode_store, Cluster, McodeParams};
+use casbn_store::{is_store_bytes, SectionKind, Store, StoreWriter};
 use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
 use std::fs::File;
 
@@ -31,6 +32,10 @@ USAGE:
   casbn stream   (--preset P [--scale F] [--samples N] | --in FILE)
                  [--batch N] [--min-rho F] [--min-score F] [--json]
                  [--out FILE] [--replay-out FILE] [--expect-checksum N]
+                 [--checkpoint FILE] [--resume FILE] [--windows N]
+  casbn pack     --in FILE --kind graph|replay|clusters --out FILE
+  casbn inspect  --in FILE
+  casbn verify   --in FILE
   casbn help
 
 FLAGS:
@@ -38,7 +43,9 @@ FLAGS:
   --scale      dataset size fraction, 1.0 = full paper scale (default 1.0;
                `bench` defaults to 0.15)
   --in         input network as a whitespace `u v` edge list (for
-               `stream`: a sample-major replay file)
+               `stream`: a sample-major replay file); `.csbn` binary
+               containers are auto-detected by their magic bytes on
+               every --in (and on compare's --original/--filtered)
   --out        output edge-list file (default: stdout); for `bench`, the
                JSON baseline to write/merge (e.g. BENCH_pipeline.json);
                for `stream`, the final chordal network (default: none)
@@ -69,9 +76,22 @@ FLAGS:
   --expect-checksum
                fail (exit 1) unless the run's deterministic checksum
                matches N — the CI streaming smoke gate
+  --checkpoint `stream`: write a resumable .csbn checkpoint of the
+               accumulators/network/chordal state to FILE after the run
+  --resume     `stream`: restore state from a checkpoint FILE and
+               continue the replay exactly where it stopped
+  --windows    `stream`: ingest at most N windows this run (pair with
+               --checkpoint to suspend a long replay mid-stream)
+  --kind       what `pack` reads from --in: graph (edge list), replay
+               (sample-major matrix), clusters (cluster --json output)
 
 ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
       forestfire | randomnode | randomedge
+
+`pack` converts text artifacts into .csbn containers; `inspect` prints a
+container's section table; `verify` validates every checksum (exit 1 on
+corruption). `stats` on a .csbn input reports the container metadata
+alongside the graph statistics.
 ";
 
 /// `casbn bench --help` text (also asserted verbatim by the CLI snapshot
@@ -118,10 +138,19 @@ stability and simulated/wall latency. A deterministic checksum over the
 integer window metrics ends the table (in --json mode it is a field of
 the document, which stays pipe-clean for `jq`).
 
+The run is suspendable: --checkpoint writes the driver's complete state
+(Welford/co-moment accumulators bit-exact, delta-graph overlays,
+incremental chordal subgraph and clock, window history) to a .csbn
+container, and --resume restores it and continues the replay where it
+stopped — a resumed run reproduces the uninterrupted run's windows and
+final checksum exactly. Pair --windows N with --checkpoint to suspend a
+long replay mid-stream.
+
 USAGE:
   casbn stream (--preset yng|mid|unt|cre [--scale F] [--samples N] | --in FILE)
                [--batch N] [--min-rho F] [--min-score F] [--json]
                [--out FILE] [--replay-out FILE] [--expect-checksum N]
+               [--checkpoint FILE] [--resume FILE] [--windows N]
 
 FLAGS:
   --preset     synthesize the replay from a dataset preset's calibrated
@@ -130,7 +159,8 @@ FLAGS:
   --samples    sample count of the synthesized replay (default: the
                preset's native array count)
   --in         read the replay from FILE instead (one sample per line,
-               whitespace-separated expression values, `#` comments)
+               whitespace-separated expression values, `#` comments; a
+               .csbn container holding a matrix section is auto-detected)
   --batch      samples ingested per window (default 2)
   --min-rho    correlation retention threshold (default 0.95; the p-value
                cut stays at the paper's 0.0005)
@@ -140,6 +170,11 @@ FLAGS:
   --replay-out write the synthesized replay to FILE and continue
   --expect-checksum
                exit 1 unless the deterministic checksum matches N
+  --checkpoint write a resumable .csbn checkpoint to FILE after the run
+  --resume     restore state from a checkpoint FILE and continue (the
+               batch size and thresholds come from the checkpoint, so
+               --batch/--min-rho/--min-score are rejected here)
+  --windows    ingest at most N windows this run (default: no limit)
 
 Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
 ";
@@ -149,10 +184,28 @@ fn fail(msg: &str) -> i32 {
     2
 }
 
+/// Read a network from `path`, auto-detecting the `.csbn` binary
+/// container by its magic bytes; anything else parses as a whitespace
+/// edge list. Every graph-consuming subcommand (`filter`, `cluster`,
+/// `stats`, `compare`) accepts either format transparently.
+/// `on_container` runs on a successfully parsed container before the
+/// graph section is decoded (`stats` interposes its metadata report
+/// here); the single dispatch body keeps the format routing in one
+/// place.
+fn load_with(path: &str, on_container: impl FnOnce(&Store<'_>, usize)) -> Result<Graph, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+    if is_store_bytes(&bytes) {
+        let store = Store::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        on_container(&store, bytes.len());
+        graph_store::load_first_graph(&store).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let (g, _) = read_edge_list(&bytes[..], 0).map_err(|e| e.to_string())?;
+        Ok(g)
+    }
+}
+
 fn load(path: &str) -> Result<Graph, String> {
-    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let (g, _) = read_edge_list(f, 0).map_err(|e| e.to_string())?;
-    Ok(g)
+    load_with(path, |_, _| {})
 }
 
 fn save(g: &Graph, path: Option<&str>, header: &str) -> Result<(), String> {
@@ -280,11 +333,35 @@ pub fn cluster(argv: &[String]) -> i32 {
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
 
-/// `casbn stats` — structural statistics of a network.
+/// Print a parsed container's metadata block: version, creator, and
+/// the per-section kind/tag/size/checksum table (`stats` and `inspect`
+/// share this).
+fn print_container_metadata(store: &Store<'_>, file_len: usize) {
+    println!(
+        "container       .csbn v{} (creator \"{}\", {} bytes)",
+        store.version(),
+        store.creator(),
+        file_len
+    );
+    println!("sections        {}", store.sections().len());
+    for (i, s) in store.sections().iter().enumerate() {
+        println!(
+            "  [{i}] {:<18} tag {:<4} {:>10} bytes  checksum {:#018x}",
+            SectionKind::name_of(s.kind),
+            s.tag,
+            s.len,
+            s.checksum
+        );
+    }
+}
+
+/// `casbn stats` — structural statistics of a network. On a `.csbn`
+/// input the container metadata (section sizes, checksums, creator
+/// version) is reported alongside the graph statistics.
 pub fn stats(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
-        let g = load(args.require("in")?)?;
+        let g = load_with(args.require("in")?, print_container_metadata)?;
         let (_, comps) = casbn_graph::algo::connected_components(&g);
         let tri = casbn_graph::algo::total_triangles(&g);
         let census = casbn_graph::algo::cycle_census(&g);
@@ -428,13 +505,31 @@ pub fn stream(argv: &[String]) -> i32 {
                 "out",
                 "replay-out",
                 "expect-checksum",
+                "checkpoint",
+                "resume",
+                "windows",
             ],
             &["json"],
         )?;
+        let resume_path = args.get("resume");
+        if resume_path.is_some() {
+            // the checkpoint carries the run configuration; a silently
+            // overridden batch size or threshold would diverge from the
+            // interrupted run while claiming to continue it
+            for flag in ["batch", "min-rho", "min-score"] {
+                if args.get(flag).is_some() {
+                    return Err(format!("--{flag} comes from the checkpoint when resuming"));
+                }
+            }
+        }
         let batch: usize = args.get_or("batch", 2)?;
         let min_rho: f64 = args.get_or("min-rho", NetworkParams::default().min_rho)?;
         if batch == 0 || !(0.0..=1.0).contains(&min_rho) {
             return Err("need --batch > 0 and 0 <= --min-rho <= 1".into());
+        }
+        let max_windows: usize = args.get_or("windows", usize::MAX)?;
+        if max_windows == 0 {
+            return Err("need --windows > 0".into());
         }
 
         // replay source: a file, or a preset-synthesized stream
@@ -453,8 +548,14 @@ pub fn stream(argv: &[String]) -> i32 {
                         ));
                     }
                 }
-                let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-                read_replay(f).map_err(|e| format!("parse {path}: {e}"))?
+                let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+                if is_store_bytes(&bytes) {
+                    let store = Store::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+                    casbn_expr::store::load_first_matrix(&store)
+                        .map_err(|e| format!("{path}: {e}"))?
+                } else {
+                    read_replay(&bytes[..]).map_err(|e| format!("parse {path}: {e}"))?
+                }
             }
             (None, Some(preset)) => {
                 let preset = match preset {
@@ -494,32 +595,76 @@ pub fn stream(argv: &[String]) -> i32 {
             eprintln!("wrote replay {path}");
         }
 
-        let cfg = StreamConfig {
-            batch,
-            network: NetworkParams {
-                min_rho,
-                ..Default::default()
-            },
-            mcode: McodeParams {
-                min_score: args.get_or("min-score", 3.0)?,
-                ..Default::default()
-            },
-            ..Default::default()
+        // drive window by window so the final chordal graph stays
+        // available for --out and the driver state for --checkpoint
+        let mut driver = match resume_path {
+            Some(ckpath) => {
+                let ckbytes = std::fs::read(ckpath).map_err(|e| format!("open {ckpath}: {e}"))?;
+                if !is_store_bytes(&ckbytes) {
+                    return Err(format!("{ckpath} is not a .csbn checkpoint"));
+                }
+                let store = Store::parse(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?;
+                let d = StreamDriver::resume_from(&store).map_err(|e| format!("{ckpath}: {e}"))?;
+                if d.genes() != matrix.genes() {
+                    return Err(format!(
+                        "checkpoint holds {} genes but the replay has {}",
+                        d.genes(),
+                        matrix.genes()
+                    ));
+                }
+                if d.samples_ingested() > matrix.samples() {
+                    return Err(format!(
+                        "checkpoint is {} samples in but the replay holds only {}",
+                        d.samples_ingested(),
+                        matrix.samples()
+                    ));
+                }
+                d
+            }
+            None => StreamDriver::new(
+                matrix.genes(),
+                StreamConfig {
+                    batch,
+                    network: NetworkParams {
+                        min_rho,
+                        ..Default::default()
+                    },
+                    mcode: McodeParams {
+                        min_score: args.get_or("min-score", 3.0)?,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            ),
         };
+        let batch = driver.config().batch;
         eprintln!(
             "streaming {} genes x {} samples in windows of {batch}…",
             matrix.genes(),
             matrix.samples()
         );
-
-        // drive window by window so the final chordal graph stays
-        // available for --out
-        let mut driver = StreamDriver::new(matrix.genes(), cfg);
-        let mut lo = 0usize;
-        while lo < matrix.samples() {
+        if driver.samples_ingested() > 0 {
+            eprintln!(
+                "resumed at sample {} (after window {})",
+                driver.samples_ingested(),
+                driver.windows().len()
+            );
+        }
+        let mut lo = driver.samples_ingested();
+        let mut ran = 0usize;
+        while lo < matrix.samples() && ran < max_windows {
             let hi = (lo + batch).min(matrix.samples());
             driver.ingest_window(&matrix.columns(lo, hi));
             lo = hi;
+            ran += 1;
+        }
+        if let Some(path) = args.get("checkpoint") {
+            std::fs::write(path, driver.checkpoint_bytes())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote checkpoint {path} ({} samples ingested)",
+                driver.samples_ingested()
+            );
         }
         let chordal = driver.chordal().clone();
         let summary = driver.finish();
@@ -593,6 +738,106 @@ pub fn stream(argv: &[String]) -> i32 {
     match run() {
         Err(e) => fail(&e),
         Ok(()) if checksum_mismatch => 1,
+        Ok(()) => 0,
+    }
+}
+
+/// `casbn pack` — convert a text artifact (edge-list graph, sample-major
+/// replay, or `cluster --json` output) into a `.csbn` container.
+pub fn pack(argv: &[String]) -> i32 {
+    let run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        args.reject_unknown(&["in", "kind", "out"], &[])?;
+        let input = args.require("in")?;
+        let out = args.require("out")?;
+        let kind = args.require("kind")?;
+        let bytes = std::fs::read(input).map_err(|e| format!("open {input}: {e}"))?;
+        if is_store_bytes(&bytes) {
+            return Err(format!("{input} is already a .csbn container"));
+        }
+        let mut w = StoreWriter::new();
+        match kind {
+            "graph" => {
+                let (g, _) = read_edge_list(&bytes[..], 0).map_err(|e| e.to_string())?;
+                graph_store::add_graph(&mut w, 0, &g);
+                eprintln!("packed graph: {} vertices, {} edges", g.n(), g.m());
+            }
+            "replay" => {
+                let m: ExpressionMatrix =
+                    read_replay(&bytes[..]).map_err(|e| format!("parse {input}: {e}"))?;
+                casbn_expr::store::add_matrix(&mut w, 0, &m);
+                eprintln!(
+                    "packed replay: {} genes x {} samples",
+                    m.genes(),
+                    m.samples()
+                );
+            }
+            "clusters" => {
+                let text = std::str::from_utf8(&bytes)
+                    .map_err(|_| format!("{input} is not UTF-8 cluster JSON"))?;
+                let cs: Vec<Cluster> =
+                    serde_json::from_str(text).map_err(|e| format!("parse {input}: {e}"))?;
+                mcode_store::add_clusters(&mut w, 0, &cs);
+                eprintln!("packed {} clusters", cs.len());
+            }
+            other => {
+                return Err(format!(
+                    "unknown --kind {other} (expected graph | replay | clusters)"
+                ))
+            }
+        }
+        w.save(out).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+        Ok(())
+    };
+    run().map(|_| 0).unwrap_or_else(|e| fail(&e))
+}
+
+/// `casbn inspect` — print a container's header and section table.
+/// Exit codes: 0 ok, 1 corrupt container, 2 usage error.
+pub fn inspect(argv: &[String]) -> i32 {
+    container_report(argv, true)
+}
+
+/// `casbn verify` — validate a container end to end (magic, version,
+/// endianness, header and per-section checksums, padding). Exit codes:
+/// 0 clean, 1 corrupt, 2 usage error.
+pub fn verify(argv: &[String]) -> i32 {
+    container_report(argv, false)
+}
+
+/// Shared body of `inspect`/`verify`: [`Store::parse`] already performs
+/// the full validation sweep, so the two differ only in what they print.
+fn container_report(argv: &[String], table: bool) -> i32 {
+    let mut corrupt = false;
+    let mut run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        args.reject_unknown(&["in"], &[])?;
+        let path = args.require("in")?;
+        let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+        match Store::parse(&bytes) {
+            Ok(store) => {
+                if table {
+                    print_container_metadata(&store, bytes.len());
+                } else {
+                    println!(
+                        "ok: {} sections, {} bytes, all checksums verified",
+                        store.sections().len(),
+                        bytes.len()
+                    );
+                }
+                Ok(())
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                corrupt = true;
+                Ok(())
+            }
+        }
+    };
+    match run() {
+        Err(e) => fail(&e),
+        Ok(()) if corrupt => 1,
         Ok(()) => 0,
     }
 }

@@ -13,6 +13,9 @@ fn main() {
         Some("compare") => commands::compare(&argv[1..]),
         Some("bench") => commands::bench(&argv[1..]),
         Some("stream") => commands::stream(&argv[1..]),
+        Some("pack") => commands::pack(&argv[1..]),
+        Some("inspect") => commands::inspect(&argv[1..]),
+        Some("verify") => commands::verify(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -33,6 +33,10 @@ const PARSED_FLAGS: &[&str] = &[
     "--replay-out",
     "--expect-checksum",
     "--summary",
+    "--checkpoint",
+    "--resume",
+    "--windows",
+    "--kind",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -59,6 +63,9 @@ const STREAM_FLAGS: &[&str] = &[
     "--out",
     "--replay-out",
     "--expect-checksum",
+    "--checkpoint",
+    "--resume",
+    "--windows",
 ];
 
 #[test]
@@ -212,7 +219,8 @@ fn bench_rejects_bad_scale() {
 #[test]
 fn usage_names_every_subcommand_and_algorithm() {
     for sub in [
-        "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "help",
+        "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "pack", "inspect",
+        "verify", "help",
     ] {
         assert!(
             USAGE.contains(&format!("casbn {sub}")),

@@ -1,0 +1,346 @@
+//! End-to-end `.csbn` container workflows through the binary: pack /
+//! inspect / verify, magic-byte auto-detection on every `--in`, and the
+//! stream checkpoint → resume bit-identity gate.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn casbn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(args)
+        .output()
+        .expect("run casbn")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("cli_store_{name}"));
+    p.to_str().unwrap().to_string()
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Write a small deterministic edge-list network for the tests.
+fn write_edge_list_fixture(path: &str) {
+    let mut text = String::new();
+    // two planted near-cliques joined by a path, plus spokes
+    for block in [0u32, 8] {
+        for u in block..block + 6 {
+            for v in (u + 1)..block + 6 {
+                text.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    text.push_str("5 8\n6 7\n7 14\n");
+    std::fs::write(path, text).unwrap();
+}
+
+#[test]
+fn pack_verify_inspect_and_consume_a_graph_container() {
+    let edges = tmp("g.tsv");
+    let packed = tmp("g.csbn");
+    write_edge_list_fixture(&edges);
+
+    let out = casbn(&["pack", "--in", &edges, "--kind", "graph", "--out", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("packed graph"));
+
+    // verify: clean container
+    let out = casbn(&["verify", "--in", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("all checksums verified"));
+
+    // inspect: section table with kind name and checksum column
+    let out = casbn(&["inspect", "--in", &packed]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("container       .csbn v1"), "{text}");
+    assert!(text.contains("graph"), "{text}");
+    assert!(text.contains("checksum 0x"), "{text}");
+
+    // stats auto-detects the container and reports its metadata plus
+    // the usual graph statistics
+    let out = casbn(&["stats", "--in", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("container       .csbn v1"), "{text}");
+    assert!(text.contains("creator \"casbn "), "{text}");
+    assert!(text.contains("vertices        15"), "{text}");
+    assert!(text.contains("edges           33"), "{text}");
+    // …while the text input gets no container block
+    let out = casbn(&["stats", "--in", &edges]);
+    assert!(!stdout(&out).contains("container"), "{}", stdout(&out));
+
+    // cluster and filter accept the container transparently and agree
+    // with the text path
+    let from_text = casbn(&["cluster", "--in", &edges]);
+    let from_bin = casbn(&["cluster", "--in", &packed]);
+    assert_eq!(from_text.status.code(), Some(0));
+    assert_eq!(stdout(&from_text), stdout(&from_bin));
+
+    let filt_text = tmp("filt_text.tsv");
+    let filt_bin = tmp("filt_bin.tsv");
+    let out = casbn(&[
+        "filter",
+        "--in",
+        &edges,
+        "--algo",
+        "chordal-seq",
+        "--out",
+        &filt_text,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = casbn(&[
+        "filter",
+        "--in",
+        &packed,
+        "--algo",
+        "chordal-seq",
+        "--out",
+        &filt_bin,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&filt_text).unwrap(),
+        std::fs::read(&filt_bin).unwrap(),
+        "filter output must not depend on the input container format"
+    );
+
+    // compare accepts containers on both --original and --filtered
+    let out = casbn(&["compare", "--original", &packed, "--filtered", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn verify_flags_corruption_with_exit_one() {
+    let edges = tmp("c.tsv");
+    let packed = tmp("c.csbn");
+    write_edge_list_fixture(&edges);
+    let out = casbn(&["pack", "--in", &edges, "--kind", "graph", "--out", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let mut bytes = std::fs::read(&packed).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    let corrupt = tmp("c_corrupt.csbn");
+    std::fs::write(&corrupt, &bytes).unwrap();
+
+    let out = casbn(&["verify", "--in", &corrupt]);
+    assert_eq!(out.status.code(), Some(1), "corruption must exit 1");
+    assert!(stderr(&out).contains("checksum"), "{}", stderr(&out));
+
+    // consuming subcommands refuse the corrupt container too
+    let out = casbn(&["stats", "--in", &corrupt]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // and a truncated container is a typed error, not a panic
+    let short = tmp("c_short.csbn");
+    std::fs::write(&short, &std::fs::read(&packed).unwrap()[..21]).unwrap();
+    let out = casbn(&["verify", "--in", &short]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("truncated"), "{}", stderr(&out));
+}
+
+#[test]
+fn pack_rejects_bad_usage() {
+    let edges = tmp("u.tsv");
+    write_edge_list_fixture(&edges);
+    // unknown kind
+    let out = casbn(&[
+        "pack",
+        "--in",
+        &edges,
+        "--kind",
+        "spreadsheet",
+        "--out",
+        "x",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    // missing --out
+    let out = casbn(&["pack", "--in", &edges, "--kind", "graph"]);
+    assert_eq!(out.status.code(), Some(2));
+    // typo'd flag is rejected, not ignored
+    let out = casbn(&["pack", "--in", &edges, "--kid", "graph", "--out", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn packed_replay_streams_identically_to_text_replay() {
+    let replay = tmp("r.tsv");
+    let packed = tmp("r.csbn");
+    // synthesize a replay via the CLI itself, then pack it
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "6",
+        "--replay-out",
+        &replay,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = casbn(&[
+        "pack", "--in", &replay, "--kind", "replay", "--out", &packed,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let a = casbn(&["stream", "--in", &replay, "--json"]);
+    let b = casbn(&["stream", "--in", &packed, "--json"]);
+    assert_eq!(a.status.code(), Some(0), "{}", stderr(&a));
+    assert_eq!(b.status.code(), Some(0), "{}", stderr(&b));
+    // wall-clock fields are nondeterministic; everything else must match
+    let strip_wall = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.contains("\"nanos\"") && !l.contains("\"secs\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_wall(&stdout(&a)),
+        strip_wall(&stdout(&b)),
+        "replay container must be transparent"
+    );
+}
+
+#[test]
+fn cluster_json_packs_into_a_clusters_section() {
+    let edges = tmp("k.tsv");
+    let json = tmp("k.json");
+    let packed = tmp("k.csbn");
+    write_edge_list_fixture(&edges);
+    let out = casbn(&["cluster", "--in", &edges, "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::write(&json, stdout(&out)).unwrap();
+    let out = casbn(&[
+        "pack", "--in", &json, "--kind", "clusters", "--out", &packed,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = casbn(&["inspect", "--in", &packed]);
+    assert!(stdout(&out).contains("clusters"), "{}", stdout(&out));
+}
+
+#[test]
+fn stream_checkpoint_resume_reproduces_the_uninterrupted_checksum() {
+    // the acceptance gate, end to end through the binary: a run stopped
+    // after 2 of 4 windows and resumed from its checkpoint must print
+    // the exact checksum of the uninterrupted run
+    let preset = [
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--batch",
+        "2",
+    ];
+
+    let full = casbn(&[&["stream"], &preset[..]].concat());
+    assert_eq!(full.status.code(), Some(0), "{}", stderr(&full));
+    let full_out = stdout(&full);
+    let checksum_line = full_out
+        .lines()
+        .find(|l| l.starts_with("checksum "))
+        .expect("summary prints a checksum");
+    let checksum = checksum_line.trim_start_matches("checksum ").to_string();
+
+    // half the run, checkpointed
+    let ck = tmp("s.ck.csbn");
+    let out = casbn(
+        &[
+            &["stream"],
+            &preset[..],
+            &["--windows", "2", "--checkpoint", ck.as_str()],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("wrote checkpoint"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out)
+            .lines()
+            .filter(|l| l.starts_with(char::is_numeric))
+            .count()
+            < 4,
+        "partial run must stop early"
+    );
+
+    // the checkpoint is itself a verifiable container
+    let out = casbn(&["verify", "--in", &ck]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // resumed remainder gates on the uninterrupted checksum (exit 0)
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--resume",
+        &ck,
+        "--expect-checksum",
+        &checksum,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume diverged: {}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("resumed at sample 4"),
+        "{}",
+        stderr(&out)
+    );
+
+    // config overrides while resuming are rejected, not silently applied
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--resume",
+        &ck,
+        "--batch",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("comes from the checkpoint"),
+        "{}",
+        stderr(&out)
+    );
+
+    // a gene-count mismatch between checkpoint and replay is caught
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.01",
+        "--samples",
+        "8",
+        "--resume",
+        &ck,
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("genes"), "{}", stderr(&out));
+}

@@ -136,6 +136,39 @@ impl IncrementalChordal {
         self.ops_total = 0;
     }
 
+    /// Rebuild a maintainer from checkpointed state: the chordal
+    /// subgraph `h`, the DSW configuration, the cost model, and the
+    /// clock/op counters accumulated so far. The scratch buffers are
+    /// re-created empty — they are behaviour-neutral (the scratch-reuse
+    /// output-identity is pinned by the PR 4 differential suites), so a
+    /// resumed maintainer replays future deltas bit-identically to one
+    /// that never stopped.
+    pub fn from_state(
+        h: Graph,
+        config: ChordalConfig,
+        cost: CostModel,
+        sim_seconds: f64,
+        ops_total: u64,
+    ) -> Self {
+        let mut inc = Self::with_config(h.n(), config, cost);
+        inc.h = h;
+        inc.clock.sync_to(sim_seconds);
+        inc.ops_total = ops_total;
+        inc
+    }
+
+    /// The DSW configuration in force.
+    #[inline]
+    pub fn config(&self) -> ChordalConfig {
+        self.config
+    }
+
+    /// The cost model the maintenance clock is charged under.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
     /// The maintained chordal subgraph.
     #[inline]
     pub fn subgraph(&self) -> &Graph {
@@ -638,6 +671,48 @@ mod tests {
         assert!(reused.subgraph().same_edges(fresh.subgraph()));
         assert_eq!(reused.total_ops(), fresh.total_ops());
         assert_eq!(reused.sim_seconds(), fresh.sim_seconds());
+    }
+
+    #[test]
+    fn from_state_resumes_bit_identically() {
+        // stop a replay halfway, clone the public state through
+        // `from_state`, and finish both — subgraph, ops and clock must
+        // agree exactly (what the .csbn checkpoint relies on)
+        let (g, _) = planted_partition(90, 3, 8, 0.9, 50, 13);
+        let chunks: Vec<EdgeDelta> = g
+            .edge_vec()
+            .chunks(35)
+            .map(|c| EdgeDelta {
+                inserts: c.to_vec(),
+                removes: vec![],
+            })
+            .collect();
+        let mut net = DeltaGraph::new(90);
+        let mut straight = IncrementalChordal::new(90);
+        let half = chunks.len() / 2;
+        for d in &chunks[..half] {
+            net.apply(d);
+            straight.apply(d, &net);
+        }
+        let mut resumed = IncrementalChordal::from_state(
+            straight.subgraph().clone(),
+            straight.config(),
+            straight.cost_model(),
+            straight.sim_seconds(),
+            straight.total_ops(),
+        );
+        assert_eq!(resumed.sim_seconds(), straight.sim_seconds());
+        for d in &chunks[half..] {
+            net.apply(d);
+            straight.apply(d, &net);
+            resumed.apply(d, &net);
+        }
+        assert!(resumed.subgraph().same_edges(straight.subgraph()));
+        assert_eq!(resumed.total_ops(), straight.total_ops());
+        assert_eq!(
+            resumed.sim_seconds().to_bits(),
+            straight.sim_seconds().to_bits()
+        );
     }
 
     #[test]

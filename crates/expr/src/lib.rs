@@ -26,6 +26,7 @@ pub mod diffexpr;
 pub mod matrix;
 pub mod pearson;
 pub mod presets;
+pub mod store;
 pub mod synthetic;
 
 pub use diffexpr::{differential_expression, restrict_genes, select_top_fraction, DiffExprResult};

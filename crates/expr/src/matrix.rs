@@ -43,6 +43,13 @@ impl ExpressionMatrix {
         self.samples
     }
 
+    /// The full row-major backing array (`genes × samples` values) —
+    /// what the `.csbn` matrix codec serialises in one bulk write.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Expression profile of gene `g`.
     #[inline]
     pub fn row(&self, g: usize) -> &[f64] {

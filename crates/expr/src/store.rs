@@ -1,0 +1,107 @@
+//! `.csbn` codec for expression matrices: one [`SectionKind::Matrix`]
+//! section holding the genes × samples shape and the row-major `f64`
+//! data verbatim (bit-exact round-trip, unlike the shortest-float text
+//! replay format which is merely value-exact).
+
+use crate::matrix::ExpressionMatrix;
+use casbn_store::{Dec, Enc, SectionKind, Store, StoreError, StoreWriter};
+
+/// Append `m` as a [`SectionKind::Matrix`] section.
+pub fn add_matrix(w: &mut StoreWriter, tag: u32, m: &ExpressionMatrix) {
+    let mut e = Enc::new();
+    e.u64(m.genes() as u64);
+    e.u64(m.samples() as u64);
+    e.f64s(m.data());
+    w.add(SectionKind::Matrix, tag, e.into_payload());
+}
+
+/// Decode a matrix-section payload.
+pub fn matrix_from_payload(payload: &[u8]) -> Result<ExpressionMatrix, StoreError> {
+    let mut d = Dec::new(payload);
+    let genes = d.dim()?;
+    let samples = d.dim()?;
+    let cells = genes
+        .checked_mul(samples)
+        .ok_or_else(|| StoreError::Malformed("matrix shape overflows".into()))?;
+    let data = d.f64s(cells)?;
+    d.finish()?;
+    Ok(ExpressionMatrix::from_rows(genes, samples, data))
+}
+
+/// Load the matrix section with this `tag`.
+pub fn load_matrix(store: &Store<'_>, tag: u32) -> Result<ExpressionMatrix, StoreError> {
+    let idx = store
+        .find(SectionKind::Matrix, tag)
+        .ok_or(StoreError::MissingSection("matrix"))?;
+    matrix_from_payload(store.payload(idx))
+}
+
+/// Load the first matrix section (any tag) — the CLI's auto-detection
+/// path for `casbn stream --in` replay files.
+pub fn load_first_matrix(store: &Store<'_>) -> Result<ExpressionMatrix, StoreError> {
+    matrix_from_payload(store.require_kind(SectionKind::Matrix)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticMicroarray, SyntheticParams};
+
+    #[test]
+    fn matrix_roundtrip_is_bit_identical() {
+        let a = SyntheticMicroarray::generate(
+            &SyntheticParams {
+                genes: 30,
+                samples: 12,
+                modules: 3,
+                module_size: 6,
+                loading_sq: 0.9,
+            },
+            7,
+        );
+        let mut w = StoreWriter::new();
+        add_matrix(&mut w, 0, &a.matrix);
+        let bytes = w.to_bytes();
+        let store = Store::parse(&bytes).unwrap();
+        let back = load_matrix(&store, 0).unwrap();
+        assert_eq!(back.genes(), 30);
+        assert_eq!(back.samples(), 12);
+        for (x, y) in a.matrix.data().iter().zip(back.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "cells must round-trip bit-exact");
+        }
+        assert!(load_first_matrix(&store).is_ok());
+    }
+
+    #[test]
+    fn degenerate_shapes_roundtrip() {
+        for (g, s) in [(0usize, 0usize), (0, 5), (4, 0)] {
+            let m = ExpressionMatrix::zeros(g, s);
+            let mut w = StoreWriter::new();
+            add_matrix(&mut w, 0, &m);
+            let bytes = w.to_bytes();
+            let back = load_first_matrix(&Store::parse(&bytes).unwrap()).unwrap();
+            assert_eq!((back.genes(), back.samples()), (g, s));
+        }
+    }
+
+    #[test]
+    fn corrupted_shape_is_a_typed_error() {
+        // shape promises more cells than the payload carries
+        let mut e = Enc::new();
+        e.u64(1 << 32);
+        e.u64(1 << 32);
+        assert!(matches!(
+            matrix_from_payload(&e.into_payload()),
+            Err(StoreError::ShortSection { .. }) | Err(StoreError::Malformed(_))
+        ));
+        // trailing data after the declared shape
+        let mut e = Enc::new();
+        e.u64(1);
+        e.u64(1);
+        e.f64s(&[1.0, 2.0]);
+        assert!(matches!(
+            matrix_from_payload(&e.into_payload()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

@@ -332,6 +332,94 @@ impl DeltaGraph {
         Graph::from_sorted_adj_vecs(adj, self.m)
     }
 
+    /// Expose the internal state for the `.csbn` checkpoint codec
+    /// (`crate::store`): base CSR, insert/remove overlays, live edge
+    /// count, pending overlay entries, epoch and compaction threshold.
+    #[allow(clippy::type_complexity)] // internal one-caller accessor
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (
+        &Csr,
+        &[Vec<VertexId>],
+        &[Vec<VertexId>],
+        usize,
+        usize,
+        u64,
+        usize,
+    ) {
+        (
+            &self.base,
+            &self.add,
+            &self.del,
+            self.m,
+            self.pending,
+            self.epoch,
+            self.threshold,
+        )
+    }
+
+    /// Reassemble a delta graph from checkpointed state, re-validating
+    /// every invariant the mutators maintain (overlay lists sorted and
+    /// symmetric, `add` disjoint from the base, `del` a subset of it,
+    /// and the edge/pending counters consistent). `base` must already
+    /// be a valid CSR ([`Csr::try_from_parts`]).
+    pub(crate) fn from_raw_parts(
+        base: Csr,
+        add: Vec<Vec<VertexId>>,
+        del: Vec<Vec<VertexId>>,
+        epoch: u64,
+        threshold: usize,
+    ) -> Result<DeltaGraph, &'static str> {
+        let n = base.n();
+        if add.len() != n || del.len() != n {
+            return Err("overlay vertex count differs from the base graph");
+        }
+        let mut overlay_entries = 0usize;
+        for (lists, other, in_base) in [(&add, &del, false), (&del, &add, true)] {
+            for v in 0..n as VertexId {
+                let list = &lists[v as usize];
+                overlay_entries += list.len();
+                if list.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("overlay lists must be sorted and duplicate-free");
+                }
+                for &w in list {
+                    if w as usize >= n {
+                        return Err("overlay neighbour id out of range");
+                    }
+                    if w == v {
+                        return Err("overlay self-loop");
+                    }
+                    if lists[w as usize].binary_search(&v).is_err() {
+                        return Err("overlay lists not symmetric");
+                    }
+                    if base.neighbors(v).binary_search(&w).is_ok() != in_base {
+                        return Err(if in_base {
+                            "remove overlay entry missing from the base graph"
+                        } else {
+                            "insert overlay entry already in the base graph"
+                        });
+                    }
+                    if other[v as usize].binary_search(&w).is_ok() {
+                        return Err("edge present in both overlays");
+                    }
+                }
+            }
+        }
+        let add_total: usize = add.iter().map(Vec::len).sum();
+        let del_total: usize = del.iter().map(Vec::len).sum();
+        debug_assert_eq!(overlay_entries, add_total + del_total);
+        let m = base.m() + add_total / 2 - del_total / 2;
+        Ok(DeltaGraph {
+            base,
+            add,
+            del,
+            m,
+            pending: (add_total + del_total) / 2,
+            epoch,
+            threshold: threshold.max(1),
+        })
+    }
+
     /// Insert `v` into `lists[u]` and `u` into `lists[v]` (sorted).
     fn overlay_insert(lists: &mut [Vec<VertexId>], u: VertexId, v: VertexId) {
         for (a, b) in [(u, v), (v, u)] {

@@ -359,6 +359,75 @@ impl Csr {
         Csr { xadj, adjncy }
     }
 
+    /// Assemble a CSR from offset + adjacency arrays with **full**
+    /// validation — the fallible twin of the crate-internal
+    /// `Csr::from_parts` for data arriving from outside the process
+    /// (the `.csbn` store loads
+    /// graphs through this: checksum-clean section bytes become the
+    /// backing arrays directly, with no per-edge parsing). Rejects
+    /// non-monotone offsets, out-of-range neighbours, unsorted or
+    /// duplicated adjacency lists, self-loops and asymmetric edges.
+    pub fn try_from_parts(xadj: Vec<u32>, adjncy: Vec<VertexId>) -> Result<Csr, &'static str> {
+        if xadj.is_empty() || xadj[0] != 0 {
+            return Err("offset array must start at 0");
+        }
+        if *xadj.last().unwrap() as usize != adjncy.len() {
+            return Err("offset array does not cover the adjacency array");
+        }
+        if xadj.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing");
+        }
+        let n = xadj.len() - 1;
+        for v in 0..n {
+            let list = &adjncy[xadj[v] as usize..xadj[v + 1] as usize];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("adjacency lists must be sorted and duplicate-free");
+            }
+            if list.iter().any(|&w| w as usize >= n) {
+                return Err("neighbour id out of range");
+            }
+            if list.binary_search(&(v as VertexId)).is_ok() {
+                return Err("self-loop in adjacency list");
+            }
+        }
+        // symmetry in O(n + m): scanning sources ascending, the entries
+        // naming v inside each neighbour's (sorted) list must appear in
+        // exactly that order — one advancing cursor per vertex replaces
+        // a binary search per directed edge
+        let mut cursor: Vec<u32> = xadj[..n].to_vec();
+        for v in 0..n {
+            for &w in &adjncy[xadj[v] as usize..xadj[v + 1] as usize] {
+                let c = cursor[w as usize];
+                if c >= xadj[w as usize + 1] || adjncy[c as usize] != v as VertexId {
+                    return Err("adjacency lists not symmetric");
+                }
+                cursor[w as usize] = c + 1;
+            }
+        }
+        Ok(Csr { xadj, adjncy })
+    }
+
+    /// The offset array (`n + 1` entries, `xadj[0] == 0`).
+    #[inline]
+    pub fn xadj(&self) -> &[u32] {
+        &self.xadj
+    }
+
+    /// The flat adjacency array (`2m` entries, per-vertex sorted).
+    #[inline]
+    pub fn adjncy(&self) -> &[VertexId] {
+        &self.adjncy
+    }
+
+    /// Thaw into a mutable [`Graph`] (per-vertex list copies; the
+    /// inverse of [`Graph::to_csr`]).
+    pub fn to_graph(&self) -> Graph {
+        let adj: Vec<Vec<VertexId>> = (0..self.n() as VertexId)
+            .map(|v| self.neighbors(v).to_vec())
+            .collect();
+        Graph::from_sorted_adj_vecs(adj, self.m())
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -571,6 +640,47 @@ mod tests {
         assert_eq!(bulk.n(), 7);
         bulk.reset(2);
         assert_eq!((bulk.n(), bulk.m()), (2, 0));
+    }
+
+    #[test]
+    fn csr_try_from_parts_validates() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4)]);
+        let c = g.to_csr();
+        // a faithful reassembly round-trips
+        let back = Csr::try_from_parts(c.xadj().to_vec(), c.adjncy().to_vec()).unwrap();
+        assert!(back.to_graph().same_edges(&g));
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 4);
+        // each invariant violation is rejected
+        assert!(Csr::try_from_parts(vec![], vec![]).is_err(), "empty xadj");
+        assert!(Csr::try_from_parts(vec![1, 1], vec![0]).is_err(), "xadj[0]");
+        assert!(
+            Csr::try_from_parts(vec![0, 2], vec![1]).is_err(),
+            "coverage"
+        );
+        assert!(
+            Csr::try_from_parts(vec![0, 2, 1, 2], vec![1, 2]).is_err(),
+            "monotone"
+        );
+        assert!(
+            Csr::try_from_parts(vec![0, 2, 4], vec![1, 1, 0, 0]).is_err(),
+            "duplicates"
+        );
+        assert!(
+            Csr::try_from_parts(vec![0, 1, 2], vec![7, 0]).is_err(),
+            "range"
+        );
+        assert!(
+            Csr::try_from_parts(vec![0, 1, 2], vec![0, 0]).is_err(),
+            "self-loop"
+        );
+        assert!(
+            Csr::try_from_parts(vec![0, 1, 1], vec![1]).is_err(),
+            "symmetry"
+        );
+        // the empty graph is valid
+        let empty = Csr::try_from_parts(vec![0], vec![]).unwrap();
+        assert_eq!((empty.n(), empty.m()), (0, 0));
     }
 
     #[test]

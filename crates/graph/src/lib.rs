@@ -16,6 +16,9 @@
 //!   Barabási–Albert, planted-partition, caveman chains).
 //! * [`algo`] — BFS, connected components, triangles, k-cores, density and
 //!   other small analyses used by MCODE and the evaluation harness.
+//! * [`store`] — `.csbn` binary container codecs: CSR graph sections
+//!   loaded with no per-edge parsing, and delta-graph checkpoint
+//!   sections for the streaming subsystem.
 //! * [`nbhood`] — zero-allocation neighbourhood kernels: adaptive
 //!   merge/galloping/bitset sorted-set intersection behind one API, plus
 //!   the reusable [`NeighborhoodScratch`] threaded through every hot
@@ -34,6 +37,7 @@ pub mod io;
 pub mod nbhood;
 pub mod ordering;
 pub mod partition;
+pub mod store;
 
 pub use crate::delta::{DeltaGraph, EdgeDelta};
 pub use crate::graph::{Csr, Edge, Graph, VertexId};

@@ -24,6 +24,8 @@
 use casbn_graph::{Edge, Graph, NeighborhoodScratch, VertexId};
 use serde::{Deserialize, Serialize};
 
+pub mod store;
+
 /// MCODE parameters. `Default` mirrors the defaults the paper used.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct McodeParams {

@@ -1,0 +1,125 @@
+//! `.csbn` codec for MCODE cluster sets: one [`SectionKind::Clusters`]
+//! section holding every predicted complex (members, induced edges,
+//! score, seed) — the binary form of `casbn cluster --json` output.
+
+use crate::Cluster;
+use casbn_store::{Dec, Enc, SectionKind, Store, StoreError, StoreWriter};
+
+/// Append a cluster set as a [`SectionKind::Clusters`] section.
+pub fn add_clusters(w: &mut StoreWriter, tag: u32, clusters: &[Cluster]) {
+    let mut e = Enc::new();
+    e.u64(clusters.len() as u64);
+    for c in clusters {
+        e.f64(c.score);
+        e.u32(c.seed);
+        e.u32(0); // alignment spacer
+        e.u64(c.vertices.len() as u64);
+        e.u64(c.edges.len() as u64);
+        e.u32s(&c.vertices);
+        for &(u, v) in &c.edges {
+            e.u32(u);
+            e.u32(v);
+        }
+    }
+    w.add(SectionKind::Clusters, tag, e.into_payload());
+}
+
+/// Decode a clusters-section payload.
+pub fn clusters_from_payload(payload: &[u8]) -> Result<Vec<Cluster>, StoreError> {
+    let mut d = Dec::new(payload);
+    // every cluster needs ≥ 32 bytes of fixed fields, which bounds the
+    // count against the payload before the output vector is sized
+    let count = d.count(32)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let score = d.f64()?;
+        let seed = d.u32()?;
+        if d.u32()? != 0 {
+            return Err(StoreError::Malformed("cluster spacer not zero".into()));
+        }
+        let nverts = d.count(4)?;
+        let nedges = d.count(8)?;
+        let vertices = d.u32s(nverts)?;
+        if vertices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StoreError::Malformed(
+                "cluster members must be ascending".into(),
+            ));
+        }
+        let flat = d.u32s(nedges * 2)?;
+        let edges = flat.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        out.push(Cluster {
+            vertices,
+            edges,
+            score,
+            seed,
+        });
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+/// Load the clusters section with this `tag`.
+pub fn load_clusters(store: &Store<'_>, tag: u32) -> Result<Vec<Cluster>, StoreError> {
+    let idx = store
+        .find(SectionKind::Clusters, tag)
+        .ok_or(StoreError::MissingSection("clusters"))?;
+    clusters_from_payload(store.payload(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mcode_cluster, McodeParams};
+    use casbn_graph::generators::planted_partition;
+
+    #[test]
+    fn cluster_set_roundtrips_exactly() {
+        let (g, _) = planted_partition(120, 4, 10, 0.95, 40, 11);
+        let clusters = mcode_cluster(&g, &McodeParams::default());
+        assert!(!clusters.is_empty(), "test graph must cluster");
+        let mut w = StoreWriter::new();
+        add_clusters(&mut w, 0, &clusters);
+        let bytes = w.to_bytes();
+        let back = load_clusters(&Store::parse(&bytes).unwrap(), 0).unwrap();
+        assert_eq!(back, clusters, "clusters must round-trip structurally");
+        // scores round-trip bit-exact, not just approximately
+        for (a, b) in clusters.iter().zip(&back) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_cluster_set_roundtrips() {
+        let mut w = StoreWriter::new();
+        add_clusters(&mut w, 2, &[]);
+        let bytes = w.to_bytes();
+        assert_eq!(
+            load_clusters(&Store::parse(&bytes).unwrap(), 2).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn corrupted_counts_are_typed_errors() {
+        // cluster count larger than the payload can hold
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 64);
+        assert!(matches!(
+            clusters_from_payload(&e.into_payload()),
+            Err(StoreError::ShortSection { .. }) | Err(StoreError::Malformed(_))
+        ));
+        // unsorted member list
+        let mut e = Enc::new();
+        e.u64(1);
+        e.f64(4.0);
+        e.u32(0);
+        e.u32(0);
+        e.u64(2); // nverts
+        e.u64(0); // nedges
+        e.u32s(&[5, 3]);
+        assert!(matches!(
+            clusters_from_payload(&e.into_payload()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

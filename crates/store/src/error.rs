@@ -1,0 +1,155 @@
+//! Typed container errors — the whole corruption surface of a `.csbn`
+//! file maps onto these variants; parsing never panics.
+
+/// Everything that can go wrong opening, parsing or decoding a `.csbn`
+/// container.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `.csbn` magic.
+    BadMagic,
+    /// The file's format version is not one this build reads.
+    UnsupportedVersion(u32),
+    /// The endianness canary read back wrong — the file was produced by
+    /// a byte-order-confused writer.
+    BadEndianness(u32),
+    /// The file ends before byte `need` of its declared structure.
+    Truncated {
+        /// First byte offset the structure needs but the file lacks.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// A checksum did not match its recorded value.
+    ChecksumMismatch {
+        /// Section index, or `None` for the header/table checksum.
+        section: Option<usize>,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum computed over the bytes present.
+        got: u64,
+    },
+    /// A section payload declared more data than it holds.
+    ShortSection {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes remaining in the payload.
+        have: usize,
+    },
+    /// Structurally invalid content (misplaced offsets, nonzero padding,
+    /// invariant-violating payload fields, …).
+    Malformed(String),
+    /// A required section kind is absent from the container.
+    MissingSection(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a .csbn container (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported container version {v} (this build reads version {})",
+                    crate::FORMAT_VERSION
+                )
+            }
+            StoreError::BadEndianness(tag) => {
+                write!(
+                    f,
+                    "endianness tag 0x{tag:08x} — container byte order is foreign"
+                )
+            }
+            StoreError::Truncated { need, have } => {
+                write!(f, "truncated container: need {need} bytes, have {have}")
+            }
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                got,
+            } => match section {
+                Some(i) => write!(
+                    f,
+                    "section {i} checksum mismatch: recorded {expected:#018x}, computed {got:#018x}"
+                ),
+                None => write!(
+                    f,
+                    "header checksum mismatch: recorded {expected:#018x}, computed {got:#018x}"
+                ),
+            },
+            StoreError::ShortSection { need, have } => {
+                write!(
+                    f,
+                    "section payload too short: need {need} bytes, have {have}"
+                )
+            }
+            StoreError::Malformed(what) => write!(f, "malformed container: {what}"),
+            StoreError::MissingSection(kind) => {
+                write!(f, "container has no {kind} section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (StoreError::BadMagic, "magic"),
+            (StoreError::UnsupportedVersion(9), "version 9"),
+            (StoreError::BadEndianness(0x0D0C0B0A), "0x0d0c0b0a"),
+            (StoreError::Truncated { need: 48, have: 7 }, "need 48"),
+            (
+                StoreError::ChecksumMismatch {
+                    section: Some(2),
+                    expected: 1,
+                    got: 2,
+                },
+                "section 2",
+            ),
+            (
+                StoreError::ChecksumMismatch {
+                    section: None,
+                    expected: 1,
+                    got: 2,
+                },
+                "header",
+            ),
+            (StoreError::ShortSection { need: 8, have: 0 }, "need 8"),
+            (StoreError::Malformed("bad offset".into()), "bad offset"),
+            (StoreError::MissingSection("graph"), "no graph section"),
+        ];
+        for (e, frag) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(frag), "{msg:?} missing {frag:?}");
+        }
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&StoreError::BadMagic).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! Container parsing with full up-front validation.
+
+use crate::error::StoreError;
+use crate::{
+    align8, fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    SECTION_ENTRY_LEN,
+};
+
+/// One entry of the parsed section table.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionEntry {
+    /// Wire kind (see [`SectionKind::name_of`] for display).
+    pub kind: u32,
+    /// Disambiguating tag (0 where a kind appears once).
+    pub tag: u32,
+    /// Payload offset from the start of the container.
+    pub offset: usize,
+    /// Payload length in bytes (without alignment padding).
+    pub len: usize,
+    /// Recorded FNV-1a checksum of the payload.
+    pub checksum: u64,
+}
+
+/// A parsed, fully validated view over a `.csbn` byte buffer.
+///
+/// [`Store::parse`] checks everything up front — magic, version,
+/// endianness, header checksum, section bounds and alignment, payload
+/// checksums and the zero padding between sections — so section access
+/// afterwards is infallible slicing. The view borrows the caller's
+/// buffer: loading stays a single `fs::read` plus header-sized parsing,
+/// with payload bytes consumed in place.
+#[derive(Debug)]
+pub struct Store<'a> {
+    bytes: &'a [u8],
+    version: u32,
+    creator: String,
+    entries: Vec<SectionEntry>,
+}
+
+impl<'a> Store<'a> {
+    /// Parse and validate a container.
+    pub fn parse(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                need: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let version = field_u32(8);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let endian = field_u32(12);
+        if endian != ENDIAN_TAG {
+            return Err(StoreError::BadEndianness(endian));
+        }
+        let count = field_u32(16) as usize;
+        if field_u32(20) != 0 {
+            return Err(StoreError::Malformed(
+                "reserved header field not zero".into(),
+            ));
+        }
+        let creator_raw = &bytes[24..24 + CREATOR_LEN];
+        let creator_end = creator_raw
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(CREATOR_LEN);
+        if creator_raw[creator_end..].iter().any(|&b| b != 0) {
+            return Err(StoreError::Malformed("creator field not NUL-padded".into()));
+        }
+        let creator = std::str::from_utf8(&creator_raw[..creator_end])
+            .map_err(|_| StoreError::Malformed("creator field not UTF-8".into()))?
+            .to_string();
+
+        // bound the table before touching it — a corrupted count must
+        // not drive any allocation or read past the buffer
+        let table_end = count
+            .checked_mul(SECTION_ENTRY_LEN)
+            .and_then(|t| t.checked_add(HEADER_LEN))
+            .ok_or_else(|| StoreError::Malformed("section count overflows".into()))?;
+        if table_end > bytes.len() {
+            return Err(StoreError::Truncated {
+                need: table_end,
+                have: bytes.len(),
+            });
+        }
+
+        // header checksum covers the fixed header (minus the checksum
+        // field itself) plus the whole table
+        let recorded = u64::from_le_bytes(bytes[HEADER_LEN - 8..HEADER_LEN].try_into().unwrap());
+        let mut hashed = Vec::with_capacity(table_end - 8);
+        hashed.extend_from_slice(&bytes[..HEADER_LEN - 8]);
+        hashed.extend_from_slice(&bytes[HEADER_LEN..table_end]);
+        let got = fnv1a(&hashed);
+        if got != recorded {
+            return Err(StoreError::ChecksumMismatch {
+                section: None,
+                expected: recorded,
+                got,
+            });
+        }
+
+        // walk the table: payloads must be contiguous, aligned,
+        // in-bounds, checksum-clean and zero-padded
+        let mut entries = Vec::with_capacity(count);
+        let mut cursor = table_end;
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let kind = field_u32(at);
+            let tag = field_u32(at + 4);
+            let offset_raw = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+            let len_raw = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap());
+            let checksum = u64::from_le_bytes(bytes[at + 24..at + 32].try_into().unwrap());
+            let offset = usize::try_from(offset_raw)
+                .map_err(|_| StoreError::Malformed(format!("section {i} offset overflows")))?;
+            let len = usize::try_from(len_raw)
+                .map_err(|_| StoreError::Malformed(format!("section {i} length overflows")))?;
+            if offset != cursor {
+                return Err(StoreError::Malformed(format!(
+                    "section {i} offset {offset} out of place (expected {cursor})"
+                )));
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| StoreError::Malformed(format!("section {i} extent overflows")))?;
+            if end > bytes.len() {
+                return Err(StoreError::Truncated {
+                    need: end,
+                    have: bytes.len(),
+                });
+            }
+            let padded_end = align8(end);
+            if padded_end > bytes.len() {
+                return Err(StoreError::Truncated {
+                    need: padded_end,
+                    have: bytes.len(),
+                });
+            }
+            if bytes[end..padded_end].iter().any(|&b| b != 0) {
+                return Err(StoreError::Malformed(format!(
+                    "section {i} alignment padding not zero"
+                )));
+            }
+            let got = fnv1a(&bytes[offset..end]);
+            if got != checksum {
+                return Err(StoreError::ChecksumMismatch {
+                    section: Some(i),
+                    expected: checksum,
+                    got,
+                });
+            }
+            entries.push(SectionEntry {
+                kind,
+                tag,
+                offset,
+                len,
+                checksum,
+            });
+            cursor = padded_end;
+        }
+        if cursor != bytes.len() {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing bytes after the last section",
+                bytes.len() - cursor
+            )));
+        }
+
+        Ok(Store {
+            bytes,
+            version,
+            creator,
+            entries,
+        })
+    }
+
+    /// Container format version.
+    #[inline]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Creator string recorded by the writer.
+    #[inline]
+    pub fn creator(&self) -> &str {
+        &self.creator
+    }
+
+    /// The validated section table, in file order.
+    #[inline]
+    pub fn sections(&self) -> &[SectionEntry] {
+        &self.entries
+    }
+
+    /// Payload bytes of section `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (the table is public; index
+    /// against [`Store::sections`]).
+    #[inline]
+    pub fn payload(&self, index: usize) -> &'a [u8] {
+        let e = &self.entries[index];
+        &self.bytes[e.offset..e.offset + e.len]
+    }
+
+    /// Index of the first section of `kind` (any tag).
+    pub fn find_kind(&self, kind: SectionKind) -> Option<usize> {
+        self.entries.iter().position(|e| e.kind == kind.as_u32())
+    }
+
+    /// Index of the section with exactly this `kind` and `tag`.
+    pub fn find(&self, kind: SectionKind, tag: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.kind == kind.as_u32() && e.tag == tag)
+    }
+
+    /// Payload of the first section of `kind`, or a typed
+    /// [`StoreError::MissingSection`].
+    pub fn require_kind(&self, kind: SectionKind) -> Result<&'a [u8], StoreError> {
+        self.find_kind(kind)
+            .map(|i| self.payload(i))
+            .ok_or(StoreError::MissingSection(SectionKind::name_of(
+                kind.as_u32(),
+            )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StoreWriter;
+
+    fn sample() -> Vec<u8> {
+        let mut w = StoreWriter::with_creator("reader-test");
+        w.add(SectionKind::Graph, 0, vec![1, 2, 3, 4, 5]);
+        w.add(SectionKind::Graph, 1, vec![6; 24]);
+        w.add(SectionKind::Matrix, 0, vec![7; 9]);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn lookup_by_kind_and_tag() {
+        let bytes = sample();
+        let s = Store::parse(&bytes).unwrap();
+        assert_eq!(s.find_kind(SectionKind::Graph), Some(0));
+        assert_eq!(s.find(SectionKind::Graph, 1), Some(1));
+        assert_eq!(s.find(SectionKind::Graph, 9), None);
+        assert_eq!(s.require_kind(SectionKind::Matrix).unwrap(), &[7; 9]);
+        assert!(matches!(
+            s.require_kind(SectionKind::Clusters),
+            Err(StoreError::MissingSection("clusters"))
+        ));
+    }
+
+    #[test]
+    fn not_a_container_is_bad_magic() {
+        assert!(matches!(
+            Store::parse(b"# an edge list\n0 1\n"),
+            Err(StoreError::BadMagic)
+        ));
+        assert!(matches!(Store::parse(b""), Err(StoreError::BadMagic)));
+        // magic alone, but header missing
+        assert!(matches!(
+            Store::parse(&MAGIC),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn version_and_endian_gates() {
+        let mut bytes = sample();
+        bytes[8] = 2; // future version
+        assert!(matches!(
+            Store::parse(&bytes),
+            Err(StoreError::UnsupportedVersion(2))
+        ));
+        let mut bytes = sample();
+        bytes[12..16].copy_from_slice(&ENDIAN_TAG.to_be_bytes()); // byte-swapped writer
+        assert!(matches!(
+            Store::parse(&bytes),
+            Err(StoreError::BadEndianness(0x0D0C_0B0A))
+        ));
+    }
+
+    #[test]
+    fn oversized_section_count_is_bounded_before_allocation() {
+        let mut bytes = sample();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        // count is absurd; the parse must fail on bounds (or the header
+        // checksum) without attempting a table-sized allocation
+        assert!(matches!(
+            Store::parse(&bytes),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_length_field_is_bounded() {
+        let mut bytes = sample();
+        // section 0 length field lives at HEADER_LEN + 16
+        bytes[HEADER_LEN + 16..HEADER_LEN + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Store::parse(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::Malformed(_)
+                    | StoreError::ChecksumMismatch { section: None, .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_a_section_checksum_mismatch() {
+        let bytes = sample();
+        let s = Store::parse(&bytes).unwrap();
+        let off = s.sections()[2].offset;
+        let mut corrupt = bytes.clone();
+        corrupt[off] ^= 0x40;
+        assert!(matches!(
+            Store::parse(&corrupt),
+            Err(StoreError::ChecksumMismatch {
+                section: Some(2),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            Store::parse(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

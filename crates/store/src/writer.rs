@@ -1,0 +1,161 @@
+//! Container assembly: collect typed section payloads, emit the header,
+//! table and aligned payloads in one pass.
+
+use crate::{
+    align8, fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
+use std::io::Write;
+
+/// Builds a `.csbn` container from section payloads.
+///
+/// Sections are written in insertion order; each payload is checksummed
+/// (FNV-1a) and zero-padded to an 8-byte boundary, and the header
+/// checksum covers the fixed header plus the whole section table, so a
+/// written container is bit-flip-detectable end to end.
+#[derive(Debug)]
+pub struct StoreWriter {
+    creator: String,
+    sections: Vec<(u32, u32, Vec<u8>)>,
+}
+
+impl StoreWriter {
+    /// Writer stamped with this build's creator string
+    /// (`casbn <version>`).
+    pub fn new() -> StoreWriter {
+        StoreWriter::with_creator(concat!("casbn ", env!("CARGO_PKG_VERSION")))
+    }
+
+    /// Writer with an explicit creator string (truncated to
+    /// [`CREATOR_LEN`] bytes on a UTF-8 boundary). The format-stability
+    /// fixture uses this to pin a creator independent of the workspace
+    /// version.
+    pub fn with_creator(creator: &str) -> StoreWriter {
+        let mut end = creator.len().min(CREATOR_LEN);
+        while !creator.is_char_boundary(end) {
+            end -= 1;
+        }
+        StoreWriter {
+            creator: creator[..end].to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a section. `tag` disambiguates multiple sections of the
+    /// same kind (0 where there is only one).
+    pub fn add(&mut self, kind: SectionKind, tag: u32, payload: Vec<u8>) {
+        self.sections.push((kind.as_u32(), tag, payload));
+    }
+
+    /// Sections added so far.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Assemble the container bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = HEADER_LEN + self.sections.len() * crate::SECTION_ENTRY_LEN;
+        let total: usize = table_end
+            + self
+                .sections
+                .iter()
+                .map(|(_, _, p)| align8(p.len()))
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+
+        // fixed header (checksum patched below)
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        let mut creator = [0u8; CREATOR_LEN];
+        creator[..self.creator.len()].copy_from_slice(self.creator.as_bytes());
+        out.extend_from_slice(&creator);
+        out.extend_from_slice(&0u64.to_le_bytes()); // header checksum placeholder
+
+        // section table
+        let mut offset = table_end;
+        for (kind, tag, payload) in &self.sections {
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&(offset as u64).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+            offset += align8(payload.len());
+        }
+
+        // header checksum: fixed header up to the checksum field + table
+        let mut hashed = Vec::with_capacity(HEADER_LEN - 8 + (out.len() - HEADER_LEN));
+        hashed.extend_from_slice(&out[..HEADER_LEN - 8]);
+        hashed.extend_from_slice(&out[HEADER_LEN..]);
+        let h = fnv1a(&hashed).to_le_bytes();
+        out[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&h);
+
+        // aligned payloads
+        for (_, _, payload) in &self.sections {
+            out.extend_from_slice(payload);
+            out.resize(align8(out.len()), 0);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Write the assembled container to `w`.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Write the assembled container to a file path.
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+}
+
+impl Default for StoreWriter {
+    fn default() -> Self {
+        StoreWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Store;
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let bytes = StoreWriter::new().to_bytes();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let s = Store::parse(&bytes).unwrap();
+        assert_eq!(s.sections().len(), 0);
+        assert_eq!(s.version(), FORMAT_VERSION);
+        assert!(s.creator().starts_with("casbn "));
+    }
+
+    #[test]
+    fn sections_roundtrip_with_padding() {
+        let mut w = StoreWriter::with_creator("test-writer");
+        w.add(SectionKind::Graph, 0, vec![1, 2, 3]); // needs 5 pad bytes
+        w.add(SectionKind::Matrix, 7, vec![0xAA; 16]); // already aligned
+        w.add(SectionKind::Clusters, 1, vec![]); // empty payload
+        assert_eq!(w.section_count(), 3);
+        let bytes = w.to_bytes();
+        let s = Store::parse(&bytes).unwrap();
+        assert_eq!(s.creator(), "test-writer");
+        assert_eq!(s.sections().len(), 3);
+        assert_eq!(s.payload(0), &[1, 2, 3]);
+        assert_eq!(s.payload(1), &[0xAA; 16]);
+        assert_eq!(s.payload(2), &[] as &[u8]);
+        assert_eq!(s.sections()[1].tag, 7);
+        assert_eq!(s.sections()[1].kind, SectionKind::Matrix.as_u32());
+    }
+
+    #[test]
+    fn long_creator_truncates_on_char_boundary() {
+        let w = StoreWriter::with_creator("ünïcødé-créätor-string-overflow");
+        let bytes = w.to_bytes();
+        let s = Store::parse(&bytes).unwrap();
+        assert!(s.creator().len() <= CREATOR_LEN);
+        assert!(s.creator().starts_with("ünïcødé"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Corruption-hardening suite: every way a `.csbn` container can rot on
+//! disk — truncation at any byte, any single bit flip, wrong magic, a
+//! stale format version, adversarial length fields — must surface as a
+//! typed [`StoreError`], never a panic, and never an allocation sized
+//! from a corrupted length field.
+
+use casbn_store::{SectionKind, Store, StoreError, StoreWriter, HEADER_LEN, MAGIC};
+use proptest::prelude::*;
+
+/// A representative container: several kinds, an unaligned payload
+/// (forcing padding), an empty payload, and enough bytes for bit-flip
+/// coverage of every structural region.
+fn sample() -> Vec<u8> {
+    let mut w = StoreWriter::with_creator("corruption-suite");
+    w.add(
+        SectionKind::Graph,
+        0,
+        (0u32..40).flat_map(u32::to_le_bytes).collect(),
+    );
+    w.add(SectionKind::Matrix, 1, vec![0xEE; 13]); // 3 pad bytes
+    w.add(SectionKind::Clusters, 2, vec![]);
+    w.add(SectionKind::DriverState, 0, vec![7; 64]);
+    w.to_bytes()
+}
+
+#[test]
+fn pristine_sample_parses() {
+    let bytes = sample();
+    let s = Store::parse(&bytes).expect("pristine container parses");
+    assert_eq!(s.sections().len(), 4);
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    // covers every structural boundary: inside the magic, mid-header,
+    // mid-table, every section payload boundary and every padding byte
+    let bytes = sample();
+    for len in 0..bytes.len() {
+        let r = std::panic::catch_unwind(|| Store::parse(&bytes[..len]).map(|_| ()));
+        match r {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("truncation to {len} bytes parsed successfully"),
+            Err(_) => panic!("truncation to {len} bytes panicked"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = sample();
+    for i in 0..MAGIC.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        assert!(
+            matches!(Store::parse(&bad), Err(StoreError::BadMagic)),
+            "magic byte {i}"
+        );
+    }
+    // a text file is BadMagic, not a parse crash
+    bytes.truncate(0);
+    bytes.extend_from_slice(b"0 1\n1 2\n");
+    assert!(matches!(Store::parse(&bytes), Err(StoreError::BadMagic)));
+}
+
+#[test]
+fn stale_and_future_versions_are_rejected() {
+    for v in [0u32, 2, 7, u32::MAX] {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&v.to_le_bytes());
+        assert!(
+            matches!(Store::parse(&bytes), Err(StoreError::UnsupportedVersion(got)) if got == v),
+            "version {v}"
+        );
+    }
+}
+
+#[test]
+fn foreign_endianness_is_rejected() {
+    let mut bytes = sample();
+    bytes[12..16].reverse();
+    assert!(matches!(
+        Store::parse(&bytes),
+        Err(StoreError::BadEndianness(_))
+    ));
+}
+
+#[test]
+fn adversarial_length_fields_never_overallocate() {
+    // huge section count: bounded against the file size before the
+    // table vector is sized
+    let mut bytes = sample();
+    bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Store::parse(&bytes),
+        Err(StoreError::Truncated { .. })
+    ));
+    // huge per-section length: bounded against the file size
+    for entry in 0..4usize {
+        let at = HEADER_LEN + entry * 32 + 16;
+        let mut bad = sample();
+        bad[at..at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = Store::parse(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::Malformed(_)
+                    | StoreError::ChecksumMismatch { .. }
+            ),
+            "entry {entry}: {err:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any single bit flip anywhere in the container is *detected*: the
+    /// checksums cover the header, table and payloads, padding must be
+    /// zero, and the file length must match the declared structure
+    /// exactly — so no flip can parse clean (and none may panic).
+    #[test]
+    fn any_single_bit_flip_is_detected(pos in 0usize..4096, bit in 0u32..8) {
+        let mut bytes = sample();
+        let byte = pos % bytes.len();
+        bytes[byte] ^= 1u8 << bit;
+        match std::panic::catch_unwind(|| Store::parse(&bytes).map(|_| ())) {
+            Ok(Err(_)) => {} // typed error: detected
+            Ok(Ok(())) => prop_assert!(false, "flip at byte {byte} bit {bit} parsed clean"),
+            Err(_) => prop_assert!(false, "flip at byte {byte} bit {bit} panicked"),
+        }
+    }
+
+    /// Arbitrary garbage (with or without a forced magic prefix) never
+    /// panics the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        data in proptest::collection::vec(0u8..=255, 0..512),
+        force_magic in 0u8..2,
+    ) {
+        let mut data = data;
+        if force_magic == 1 && data.len() >= MAGIC.len() {
+            data[..MAGIC.len()].copy_from_slice(&MAGIC);
+        }
+        let r = std::panic::catch_unwind(|| Store::parse(&data).map(|_| ()));
+        prop_assert!(r.is_ok(), "parser panicked on arbitrary input");
+    }
+
+    /// Random multi-byte stomps over a valid container are detected or
+    /// (only when they rewrite nothing) parse identically.
+    #[test]
+    fn random_stomps_are_detected(pos in 0usize..4096, len in 1usize..24, fill in 0u8..=255) {
+        let mut bytes = sample();
+        let at = pos % bytes.len();
+        let end = (at + len).min(bytes.len());
+        let changed = bytes[at..end].iter().any(|&b| b != fill);
+        for b in &mut bytes[at..end] {
+            *b = fill;
+        }
+        match std::panic::catch_unwind(|| Store::parse(&bytes).map(|_| ())) {
+            Ok(Err(_)) => prop_assert!(changed, "unchanged container reported corrupt"),
+            Ok(Ok(())) => prop_assert!(!changed, "stomp at {at}+{len} parsed clean"),
+            Err(_) => prop_assert!(false, "stomp at {at}+{len} panicked"),
+        }
+    }
+}

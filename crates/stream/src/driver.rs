@@ -3,13 +3,20 @@
 //! latency, churn and cluster-stability reporting.
 
 use crate::online::OnlineCorrelation;
+use casbn_chordal::{is_chordal, ChordalConfig, SelectionRule};
 use casbn_core::IncrementalChordal;
 use casbn_distsim::CostModel;
 use casbn_expr::{ExpressionMatrix, NetworkParams};
-use casbn_graph::{nbhood, DeltaGraph, VertexId};
+use casbn_graph::{nbhood, store as graph_store, DeltaGraph, VertexId};
 use casbn_mcode::{mcode_cluster_into, Cluster, McodeParams, McodeScratch};
+use casbn_store::{Dec, Enc, SectionKind, Store, StoreError, StoreWriter};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Tag of the [`SectionKind::Graph`] section that holds the maintained
+/// chordal subgraph inside a checkpoint container (tag 0 is left for
+/// standalone graph artifacts).
+pub const CHECKPOINT_CHORDAL_TAG: u32 = 1;
 
 /// Configuration of a streaming run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -140,6 +147,12 @@ impl StreamDriver {
         }
     }
 
+    /// The configuration in force (a resumed driver carries the
+    /// checkpointed configuration, not fresh defaults).
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
     /// The live network.
     pub fn network(&self) -> &DeltaGraph {
         &self.net
@@ -202,6 +215,237 @@ impl StreamDriver {
         };
         self.windows.push(report.clone());
         report
+    }
+
+    /// Genes in the stream.
+    pub fn genes(&self) -> usize {
+        self.online.genes()
+    }
+
+    /// Samples ingested so far — a resumed replay skips this many
+    /// leading samples before continuing.
+    pub fn samples_ingested(&self) -> usize {
+        self.online.samples()
+    }
+
+    /// Serialise the driver's complete resumable state into a `.csbn`
+    /// checkpoint container: the online-correlation accumulators
+    /// (bit-exact `f64`s), the delta-graph network with its live
+    /// overlays, the incremental-chordal subgraph and clock, and the
+    /// driver's window history and configuration. A driver restored
+    /// with [`StreamDriver::resume_from`] and fed the rest of the
+    /// stream reproduces the uninterrupted run's windows and final
+    /// checksum **exactly**.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = StoreWriter::new();
+
+        // online-correlation accumulator state
+        let (mean, m2, comoment, present) = self.online.checkpoint_arrays();
+        let mut e = Enc::new();
+        e.u64(self.online.genes() as u64);
+        e.u64(self.online.samples() as u64);
+        e.u64(self.online.work_ops());
+        e.f64(self.cfg.network.min_rho);
+        e.f64(self.cfg.network.max_p);
+        e.f64s(mean);
+        e.f64s(m2);
+        e.f64s(comoment);
+        e.u64s(present);
+        w.add(SectionKind::OnlineCorrelation, 0, e.into_payload());
+
+        // the live network and the maintained chordal subgraph
+        graph_store::add_delta_graph(&mut w, 0, &self.net);
+        graph_store::add_graph(&mut w, CHECKPOINT_CHORDAL_TAG, self.chordal.subgraph());
+
+        // incremental-chordal scalars (config, cost model, clock, ops)
+        let mut e = Enc::new();
+        e.u32(match self.chordal.config().selection {
+            SelectionRule::MaxCardinality => 0,
+            SelectionRule::LabelOrder => 1,
+        });
+        e.u32(0); // alignment spacer
+        let cost = self.chordal.cost_model();
+        e.f64(cost.seconds_per_op);
+        e.f64(cost.latency);
+        e.f64(cost.seconds_per_byte);
+        e.f64(self.chordal.sim_seconds());
+        e.u64(self.chordal.total_ops());
+        w.add(SectionKind::ChordalState, 0, e.into_payload());
+
+        // driver configuration, stability set and window history
+        let mut e = Enc::new();
+        e.u64(self.cfg.batch as u64);
+        let mc = &self.cfg.mcode;
+        e.f64(mc.vwp);
+        e.f64(mc.min_score);
+        e.u64(mc.haircut as u64);
+        e.u64(mc.fluff.is_some() as u64);
+        e.f64(mc.fluff.unwrap_or(0.0));
+        e.u64(mc.min_size as u64);
+        e.f64(self.sim_ingest_last);
+        e.f64(self.sim_chordal_last);
+        e.u64(self.prev_clustered.len() as u64);
+        e.u32s(&self.prev_clustered);
+        e.u64(self.windows.len() as u64);
+        for r in &self.windows {
+            e.u64(r.window as u64);
+            e.u64(r.samples_seen as u64);
+            e.u64(r.inserts as u64);
+            e.u64(r.removes as u64);
+            e.u64(r.network_edges as u64);
+            e.u64(r.chordal_edges as u64);
+            e.u64(r.clusters as u64);
+            e.f64(r.stability);
+            e.f64(r.sim_ingest);
+            e.f64(r.sim_chordal);
+            e.u64(r.wall.as_nanos() as u64);
+        }
+        w.add(SectionKind::DriverState, 0, e.into_payload());
+        w.to_bytes()
+    }
+
+    /// Restore a driver from a checkpoint container written by
+    /// [`StreamDriver::checkpoint_bytes`]. All cross-section
+    /// consistency (matching vertex/gene counts, the chordal subgraph
+    /// staying a subgraph of the network, sorted stability sets) is
+    /// re-validated; violations surface as [`StoreError::Malformed`].
+    pub fn resume_from(store: &Store<'_>) -> Result<StreamDriver, StoreError> {
+        let malformed = |what: &str| StoreError::Malformed(what.into());
+
+        // online accumulator
+        let mut d = Dec::new(store.require_kind(SectionKind::OnlineCorrelation)?);
+        let genes = d.dim()?;
+        let samples = d.dim()?;
+        let work_ops = d.u64()?;
+        let network = NetworkParams {
+            min_rho: d.f64()?,
+            max_p: d.f64()?,
+        };
+        let mean = d.f64s(genes)?;
+        let m2 = d.f64s(genes)?;
+        let pairs = genes
+            .checked_mul(genes.saturating_sub(1))
+            .map(|x| x / 2)
+            .ok_or_else(|| malformed("gene count overflows the pair triangle"))?;
+        let comoment = d.f64s(pairs)?;
+        let present = d.u64s(pairs.div_ceil(64))?;
+        d.finish()?;
+        let online = OnlineCorrelation::from_checkpoint(
+            genes, network, samples, work_ops, mean, m2, comoment, present,
+        )
+        .map_err(|e| StoreError::Malformed(e.into()))?;
+
+        // network + chordal subgraph
+        let net = graph_store::load_delta_graph(store, 0)?;
+        let h = graph_store::load_csr(store, CHECKPOINT_CHORDAL_TAG)?.to_graph();
+        if net.n() != genes || h.n() != genes {
+            return Err(malformed("checkpoint vertex counts disagree"));
+        }
+        for (u, v) in h.edges() {
+            if !net.has_edge(u, v) {
+                return Err(malformed(
+                    "chordal subgraph is not a subgraph of the network",
+                ));
+            }
+        }
+        // the maintainer's correctness rests on H being chordal; a
+        // tampered-but-rechecksummed checkpoint must not smuggle in a
+        // non-chordal state (one O(n + m log n) MCS sweep)
+        if !is_chordal(&h) {
+            return Err(malformed("checkpoint chordal subgraph is not chordal"));
+        }
+
+        // chordal maintainer scalars
+        let mut d = Dec::new(store.require_kind(SectionKind::ChordalState)?);
+        let selection = match d.u32()? {
+            0 => SelectionRule::MaxCardinality,
+            1 => SelectionRule::LabelOrder,
+            _ => return Err(malformed("unknown DSW selection rule")),
+        };
+        if d.u32()? != 0 {
+            return Err(malformed("chordal-state spacer not zero"));
+        }
+        let cost = CostModel {
+            seconds_per_op: d.f64()?,
+            latency: d.f64()?,
+            seconds_per_byte: d.f64()?,
+        };
+        let sim_seconds = d.f64()?;
+        let ops_total = d.u64()?;
+        d.finish()?;
+        let chordal = IncrementalChordal::from_state(
+            h,
+            ChordalConfig { selection },
+            cost,
+            sim_seconds,
+            ops_total,
+        );
+
+        // driver state
+        let mut d = Dec::new(store.require_kind(SectionKind::DriverState)?);
+        let batch = d.dim()?;
+        if batch == 0 {
+            return Err(malformed("window batch size must be positive"));
+        }
+        let vwp = d.f64()?;
+        let min_score = d.f64()?;
+        let haircut = d.u64()? != 0;
+        let fluff_present = d.u64()? != 0;
+        let fluff_value = d.f64()?;
+        let min_size = d.dim()?;
+        let sim_ingest_last = d.f64()?;
+        let sim_chordal_last = d.f64()?;
+        let nprev = d.count(4)?;
+        let prev_clustered = d.u32s(nprev)?;
+        if prev_clustered.windows(2).any(|w| w[0] >= w[1])
+            || prev_clustered.iter().any(|&v| v as usize >= genes)
+        {
+            return Err(malformed("stability set must be ascending and in range"));
+        }
+        let nwindows = d.count(88)?;
+        let mut windows = Vec::with_capacity(nwindows);
+        for _ in 0..nwindows {
+            windows.push(WindowReport {
+                window: d.dim()?,
+                samples_seen: d.dim()?,
+                inserts: d.dim()?,
+                removes: d.dim()?,
+                network_edges: d.dim()?,
+                chordal_edges: d.dim()?,
+                clusters: d.dim()?,
+                stability: d.f64()?,
+                sim_ingest: d.f64()?,
+                sim_chordal: d.f64()?,
+                wall: Duration::from_nanos(d.u64()?),
+            });
+        }
+        d.finish()?;
+
+        let cfg = StreamConfig {
+            batch,
+            network,
+            mcode: McodeParams {
+                vwp,
+                haircut,
+                fluff: fluff_present.then_some(fluff_value),
+                min_score,
+                min_size,
+            },
+            cost,
+        };
+        Ok(StreamDriver {
+            online,
+            net,
+            chordal,
+            cfg,
+            prev_clustered,
+            cur_clustered: Vec::new(),
+            mcode_scratch: McodeScratch::new(genes),
+            clusters: Vec::new(),
+            windows,
+            sim_ingest_last,
+            sim_chordal_last,
+        })
     }
 
     /// Deterministic FNV-1a checksum over the integer metrics of every

@@ -24,11 +24,21 @@
 //!   simulated/wall latency per window (`casbn stream` on the CLI).
 //! * [`replay`] — the sample-major on-disk stream format and the
 //!   deterministic preset-based replay synthesizer.
+//!
+//! The driver's complete state — accumulators, delta graph, chordal
+//! subgraph, window history — checkpoints into a `.csbn` container
+//! ([`StreamDriver::checkpoint_bytes`]) and resumes bit-identically
+//! ([`StreamDriver::resume_from`]): a resumed run reproduces the
+//! uninterrupted run's final checksum exactly (`casbn stream
+//! --checkpoint/--resume` on the CLI).
 
 pub mod driver;
 pub mod online;
 pub mod replay;
 
-pub use driver::{rebuild_sim_seconds, StreamConfig, StreamDriver, StreamSummary, WindowReport};
+pub use driver::{
+    rebuild_sim_seconds, StreamConfig, StreamDriver, StreamSummary, WindowReport,
+    CHECKPOINT_CHORDAL_TAG,
+};
 pub use online::OnlineCorrelation;
 pub use replay::{read_replay, synthesize_replay, write_replay, ReplayError};

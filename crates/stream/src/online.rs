@@ -189,6 +189,63 @@ impl OnlineCorrelation {
         self.present[idx / 64] >> (idx % 64) & 1 == 1
     }
 
+    /// The accumulator arrays the `.csbn` checkpoint serialises:
+    /// per-gene means and second moments, the co-moment triangle, and
+    /// the membership bitset.
+    pub(crate) fn checkpoint_arrays(&self) -> (&[f64], &[f64], &[f64], &[u64]) {
+        (&self.mean, &self.m2, &self.comoment, &self.present)
+    }
+
+    /// Rebuild an accumulator from checkpointed state. Array lengths
+    /// must match the gene count, bits past the pair triangle must be
+    /// zero (the live edge count is recomputed as the bitset popcount),
+    /// and the recurrences continue **bit-identically** — the restored
+    /// means/moments are the exact `f64` bits the original held.
+    #[allow(clippy::too_many_arguments)] // mirrors the checkpoint field order
+    pub(crate) fn from_checkpoint(
+        genes: usize,
+        params: NetworkParams,
+        samples: usize,
+        work_ops: u64,
+        mean: Vec<f64>,
+        m2: Vec<f64>,
+        comoment: Vec<f64>,
+        present: Vec<u64>,
+    ) -> Result<OnlineCorrelation, &'static str> {
+        let pairs = genes
+            .checked_mul(genes.saturating_sub(1))
+            .map(|x| x / 2)
+            .ok_or("gene count overflows the pair triangle")?;
+        if mean.len() != genes || m2.len() != genes {
+            return Err("per-gene moment array length mismatch");
+        }
+        if comoment.len() != pairs {
+            return Err("co-moment triangle length mismatch");
+        }
+        if present.len() != pairs.div_ceil(64) {
+            return Err("membership bitset length mismatch");
+        }
+        if pairs % 64 != 0 {
+            if let Some(&last) = present.last() {
+                if last >> (pairs % 64) != 0 {
+                    return Err("membership bits set beyond the pair triangle");
+                }
+            }
+        }
+        let edges = present.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(OnlineCorrelation {
+            genes,
+            params,
+            samples,
+            mean,
+            m2,
+            comoment,
+            present,
+            edges,
+            work_ops,
+        })
+    }
+
     /// Ingest one batch of samples (a genes × k matrix, columns are the
     /// new arrays in stream order) and emit the edge changes it caused.
     ///

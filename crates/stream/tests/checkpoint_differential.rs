@@ -1,0 +1,209 @@
+//! Checkpoint/resume differential suite: a streaming run interrupted at
+//! *any* window boundary and resumed from its `.csbn` checkpoint must
+//! reproduce the uninterrupted run **bit-identically** — same per-window
+//! metrics, same final FNV checksum, same chordal subgraph, same
+//! network. This is the acceptance gate of the persistence subsystem:
+//! the checkpoint stores the exact `f64` bits of the Welford/co-moment
+//! accumulators and the exact delta-graph overlays, so the resumed
+//! recurrences continue on identical state.
+
+use casbn_expr::{DatasetPreset, ExpressionMatrix};
+use casbn_store::{Store, StoreError};
+use casbn_stream::{synthesize_replay, StreamConfig, StreamDriver};
+
+fn replay() -> ExpressionMatrix {
+    synthesize_replay(DatasetPreset::Yng, 0.02, Some(8))
+}
+
+/// Drive `driver` over `matrix` from its current position to the end.
+fn drive_to_end(driver: &mut StreamDriver, matrix: &ExpressionMatrix, batch: usize) {
+    let mut lo = driver.samples_ingested();
+    while lo < matrix.samples() {
+        let hi = (lo + batch).min(matrix.samples());
+        driver.ingest_window(&matrix.columns(lo, hi));
+        lo = hi;
+    }
+}
+
+#[test]
+fn resume_from_any_window_boundary_is_bit_identical() {
+    let m = replay();
+    let cfg = StreamConfig::default();
+
+    let mut straight = StreamDriver::new(m.genes(), cfg);
+    drive_to_end(&mut straight, &m, cfg.batch);
+    let straight_checksum = straight.checksum();
+    let straight_windows: Vec<_> = straight.windows().to_vec();
+    assert_eq!(straight_windows.len(), 4, "8 samples / batch 2");
+
+    for stop_after in 0..straight_windows.len() {
+        // run the first `stop_after` windows, checkpoint, drop
+        let mut partial = StreamDriver::new(m.genes(), cfg);
+        let mut lo = 0usize;
+        for _ in 0..stop_after {
+            let hi = (lo + cfg.batch).min(m.samples());
+            partial.ingest_window(&m.columns(lo, hi));
+            lo = hi;
+        }
+        let ck = partial.checkpoint_bytes();
+        drop(partial);
+
+        // restore and finish the stream
+        let store = Store::parse(&ck).unwrap_or_else(|e| panic!("parse @{stop_after}: {e}"));
+        let mut resumed = StreamDriver::resume_from(&store)
+            .unwrap_or_else(|e| panic!("resume @{stop_after}: {e}"));
+        assert_eq!(resumed.genes(), m.genes());
+        assert_eq!(resumed.samples_ingested(), lo);
+        drive_to_end(&mut resumed, &m, cfg.batch);
+
+        assert_eq!(
+            resumed.checksum(),
+            straight_checksum,
+            "checkpoint after window {stop_after} diverged"
+        );
+        for (a, b) in resumed.windows().iter().zip(&straight_windows) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.samples_seen, b.samples_seen);
+            assert_eq!(a.inserts, b.inserts);
+            assert_eq!(a.removes, b.removes);
+            assert_eq!(a.network_edges, b.network_edges);
+            assert_eq!(a.chordal_edges, b.chordal_edges);
+            assert_eq!(a.clusters, b.clusters);
+            assert_eq!(
+                a.stability.to_bits(),
+                b.stability.to_bits(),
+                "window {} stability",
+                a.window
+            );
+            assert_eq!(
+                a.sim_ingest.to_bits(),
+                b.sim_ingest.to_bits(),
+                "window {} sim_ingest",
+                a.window
+            );
+            assert_eq!(
+                a.sim_chordal.to_bits(),
+                b.sim_chordal.to_bits(),
+                "window {} sim_chordal",
+                a.window
+            );
+        }
+        assert!(resumed.chordal().same_edges(straight.chordal()));
+        assert!(resumed
+            .network()
+            .snapshot()
+            .same_edges(&straight.network().snapshot()));
+    }
+}
+
+#[test]
+fn chained_checkpoints_stay_identical() {
+    // checkpoint → resume → one window → checkpoint → resume → … to the
+    // end: repeated suspension must not accumulate any drift
+    let m = replay();
+    let cfg = StreamConfig::default();
+    let mut straight = StreamDriver::new(m.genes(), cfg);
+    drive_to_end(&mut straight, &m, cfg.batch);
+
+    let mut driver = StreamDriver::new(m.genes(), cfg);
+    while driver.samples_ingested() < m.samples() {
+        let ck = driver.checkpoint_bytes();
+        let store = Store::parse(&ck).expect("chained checkpoint parses");
+        driver = StreamDriver::resume_from(&store).expect("chained resume");
+        let lo = driver.samples_ingested();
+        let hi = (lo + cfg.batch).min(m.samples());
+        driver.ingest_window(&m.columns(lo, hi));
+    }
+    assert_eq!(driver.checksum(), straight.checksum());
+    assert!(driver.chordal().same_edges(straight.chordal()));
+}
+
+#[test]
+fn resumed_summary_matches_uninterrupted_summary() {
+    // the summary path (finish) sees the union of restored + new windows
+    let m = replay();
+    let cfg = StreamConfig::default();
+    let a = StreamDriver::run(&m, cfg);
+
+    let mut partial = StreamDriver::new(m.genes(), cfg);
+    partial.ingest_window(&m.columns(0, 2));
+    partial.ingest_window(&m.columns(2, 4));
+    let ck = partial.checkpoint_bytes();
+    let store = Store::parse(&ck).unwrap();
+    let mut resumed = StreamDriver::resume_from(&store).unwrap();
+    drive_to_end(&mut resumed, &m, cfg.batch);
+    let b = resumed.finish();
+
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.windows.len(), b.windows.len());
+    assert_eq!(a.genes, b.genes);
+    assert_eq!(a.total_churn(), b.total_churn());
+}
+
+#[test]
+fn non_chordal_checkpoint_subgraph_is_rejected() {
+    // a tampered-but-rechecksummed checkpoint whose chordal section
+    // holds a chordless C4 (kept a subgraph of an equally tampered
+    // network section) must fail the resume validation, not silently
+    // seed the maintainer with non-chordal state
+    use casbn_graph::{store as graph_store, DeltaGraph, Graph};
+    use casbn_store::{SectionKind, StoreWriter};
+
+    let m = replay();
+    let cfg = StreamConfig::default();
+    let mut driver = StreamDriver::new(m.genes(), cfg);
+    driver.ingest_window(&m.columns(0, 2));
+    let ck = driver.checkpoint_bytes();
+    let store = Store::parse(&ck).unwrap();
+
+    let c4 = Graph::from_edges(m.genes(), &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+    let mut w = StoreWriter::new();
+    for (i, entry) in store.sections().iter().enumerate() {
+        let kind = SectionKind::from_u32(entry.kind).unwrap();
+        match kind {
+            SectionKind::DeltaGraph => {
+                graph_store::add_delta_graph(&mut w, entry.tag, &DeltaGraph::from_graph(&c4))
+            }
+            SectionKind::Graph => graph_store::add_graph(&mut w, entry.tag, &c4),
+            _ => w.add(kind, entry.tag, store.payload(i).to_vec()),
+        }
+    }
+    let tampered = w.to_bytes();
+    let store = Store::parse(&tampered).expect("re-checksummed container parses");
+    match StreamDriver::resume_from(&store) {
+        Ok(_) => panic!("non-chordal checkpoint state must not resume"),
+        Err(e) => assert!(
+            e.to_string().contains("not chordal"),
+            "expected chordality rejection, got {e}"
+        ),
+    }
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_not_resumed() {
+    let m = replay();
+    let cfg = StreamConfig::default();
+    let mut driver = StreamDriver::new(m.genes(), cfg);
+    driver.ingest_window(&m.columns(0, 2));
+    let ck = driver.checkpoint_bytes();
+
+    // any payload bit flip fails the container parse
+    let mut bad = ck.clone();
+    let mid = ck.len() / 2;
+    bad[mid] ^= 0x10;
+    assert!(Store::parse(&bad).is_err(), "bit flip must be detected");
+
+    // truncation fails the container parse
+    assert!(Store::parse(&ck[..ck.len() - 7]).is_err());
+
+    // a structurally valid container missing the driver sections is a
+    // typed MissingSection error, not a panic
+    let mut w = casbn_store::StoreWriter::new();
+    casbn_graph::store::add_graph(&mut w, 0, &casbn_graph::Graph::new(3));
+    let stray = w.to_bytes();
+    let store = Store::parse(&stray).unwrap();
+    assert!(matches!(
+        StreamDriver::resume_from(&store),
+        Err(StoreError::MissingSection(_))
+    ));
+}

@@ -18,6 +18,9 @@
 //! * [`analysis`] — cluster overlap / sensitivity / specificity evaluation.
 //! * [`stream`] — the incremental streaming subsystem: online
 //!   correlation, edge-delta graphs, incremental chordal filtering.
+//! * [`store`] — the `.csbn` versioned binary artifact container:
+//!   zero-copy graph/matrix/cluster sections and stream checkpoints
+//!   (codecs live in `graph::store`, `expr::store`, `mcode::store`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use casbn_expr as expr;
 pub use casbn_graph as graph;
 pub use casbn_mcode as mcode;
 pub use casbn_ontology as ontology;
+pub use casbn_store as store;
 pub use casbn_stream as stream;
 
 /// Convenient glob-import surface covering the common pipeline.
@@ -75,5 +79,6 @@ pub mod prelude {
     };
     pub use casbn_mcode::{mcode_cluster, mcode_cluster_into, Cluster, McodeParams, McodeScratch};
     pub use casbn_ontology::{enrich_cluster, AnnotatedOntology, EnrichmentScorer, GoDag};
+    pub use casbn_store::{SectionKind, Store, StoreError, StoreWriter};
     pub use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 }
