@@ -7,6 +7,7 @@ use casbn_core::{
     ParallelRandomWalkFilter, RandomEdgeFilter, RandomNodeFilter, SequentialChordalFilter,
 };
 use casbn_expr::{DatasetPreset, ExpressionMatrix, NetworkParams};
+use casbn_fuzz::{Execution, FuzzConfig};
 use casbn_graph::io::{read_edge_list, write_edge_list};
 use casbn_graph::{store as graph_store, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, store as mcode_store, Cluster, McodeParams};
@@ -36,6 +37,8 @@ USAGE:
   casbn pack     --in FILE --kind graph|replay|clusters --out FILE
   casbn inspect  --in FILE
   casbn verify   --in FILE
+  casbn fuzz     [--target T|all] [--iters N] [--seed N] [--corpus DIR]
+                 [--minimize FILE]
   casbn help
 
 FLAGS:
@@ -84,6 +87,13 @@ FLAGS:
                --checkpoint to suspend a long replay mid-stream)
   --kind       what `pack` reads from --in: graph (edge list), replay
                (sample-major matrix), clusters (cluster --json output)
+  --target     `fuzz` input surface: edge-list | replay | csbn |
+               checkpoint-resume | cli-argv | all (default all)
+  --iters      `fuzz` iterations per target (default 1000)
+  --corpus     `fuzz` corpus directory: DIR/<target>/ files replay as a
+               regression suite, and new crashers are written back there
+  --minimize   `fuzz`: shrink the failing input in FILE to a minimal
+               crasher (needs a single --target); writes FILE.min
 
 ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
       forestfire | randomnode | randomedge
@@ -91,7 +101,9 @@ ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
 `pack` converts text artifacts into .csbn containers; `inspect` prints a
 container's section table; `verify` validates every checksum (exit 1 on
 corruption). `stats` on a .csbn input reports the container metadata
-alongside the graph statistics.
+alongside the graph statistics. `fuzz` runs the deterministic
+structure-aware fuzzing and differential-oracle harness over every
+input surface (see `casbn fuzz --help`).
 ";
 
 /// `casbn bench --help` text (also asserted verbatim by the CLI snapshot
@@ -177,6 +189,40 @@ FLAGS:
   --windows    ingest at most N windows this run (default: no limit)
 
 Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
+";
+
+/// `casbn fuzz --help` text (also asserted verbatim by the CLI snapshot
+/// tests).
+pub const FUZZ_USAGE: &str = "\
+casbn fuzz — deterministic structure-aware fuzzing of every input surface
+
+Each target wraps one untrusted-input surface (whitespace edge lists,
+sample-major replay files, .csbn containers, stream checkpoints, CLI
+argv vectors) behind a panic-catching, allocation-capped driver and a
+differential oracle: inputs that parse must re-encode bit-identically,
+and a checkpoint that resumes must replay to the uninterrupted run's
+exact checksum. Campaigns are bit-deterministic — the per-target trace
+checksum is reproducible from --seed alone, and any crasher reproduces
+from its (target, seed, iteration) coordinates.
+
+USAGE:
+  casbn fuzz [--target T|all] [--iters N] [--seed N] [--corpus DIR]
+             [--minimize FILE]
+
+FLAGS:
+  --target     one of edge-list | replay | csbn | checkpoint-resume |
+               cli-argv, or all (default all)
+  --iters      fuzzing iterations per target (default 1000)
+  --seed       campaign seed; equal seeds give identical iteration
+               traces (default 0)
+  --corpus     corpus directory: every file under DIR/<target>/ is
+               replayed first as a crasher-regression suite, and new
+               crashers found this run are written back there
+  --minimize   shrink the failing input in FILE to a minimal crasher
+               that fails the same way (needs a single --target);
+               writes FILE.min
+
+Exit codes: 0 clean, 1 crashes found, 2 usage error.
 ";
 
 fn fail(msg: &str) -> i32 {
@@ -838,6 +884,228 @@ fn container_report(argv: &[String], table: bool) -> i32 {
     match run() {
         Err(e) => fail(&e),
         Ok(()) if corrupt => 1,
+        Ok(()) => 0,
+    }
+}
+
+/// Parse a full `casbn` argv vector (subcommand plus flags) exactly as
+/// the real subcommands would — same flag tables, same typed value
+/// parses — without executing anything or touching the filesystem.
+/// This is the driver the fuzzing harness's `cli-argv` target injects:
+/// it must return `Ok`/`Err`, never panic, on arbitrary argv vectors.
+pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(()); // bare `casbn` prints usage
+    };
+    let (valued, switches): (&[&str], &[&str]) = match cmd.as_str() {
+        "generate" => (&["preset", "scale", "out"], &[]),
+        "filter" => (&["in", "algo", "ranks", "partition", "seed", "out"], &[]),
+        "cluster" => (&["in", "min-score", "min-size"], &["json"]),
+        "stats" => (&["in"], &["centrality"]),
+        "compare" => (&["original", "filtered"], &[]),
+        "bench" => (
+            &[
+                "scale",
+                "repeats",
+                "out",
+                "baseline",
+                "threshold",
+                "summary",
+            ],
+            &["wall"],
+        ),
+        "stream" => (
+            &[
+                "preset",
+                "scale",
+                "samples",
+                "in",
+                "batch",
+                "min-rho",
+                "min-score",
+                "out",
+                "replay-out",
+                "expect-checksum",
+                "checkpoint",
+                "resume",
+                "windows",
+            ],
+            &["json"],
+        ),
+        "pack" => (&["in", "kind", "out"], &[]),
+        "inspect" | "verify" => (&["in"], &[]),
+        "fuzz" => (&["target", "iters", "seed", "corpus", "minimize"], &[]),
+        "help" | "--help" | "-h" => return Ok(()),
+        other => return Err(format!("unknown subcommand: {other}")),
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(()); // help short-circuits before parsing everywhere
+    }
+    let args = Args::parse(rest)?;
+    args.reject_unknown(valued, switches)?;
+    // the same typed value parses the real subcommands perform (absent
+    // flags fall through to the default, so one list serves them all)
+    for key in ["scale", "min-rho", "min-score", "threshold"] {
+        let _: f64 = args.get_or(key, 0.0)?;
+    }
+    for key in [
+        "ranks", "repeats", "min-size", "samples", "batch", "windows",
+    ] {
+        let _: usize = args.get_or(key, 1)?;
+    }
+    for key in ["seed", "iters", "expect-checksum"] {
+        let _: u64 = args.get_or(key, 0)?;
+    }
+    if let Some(p) = args.get("preset") {
+        if !matches!(p, "yng" | "mid" | "unt" | "cre") {
+            return Err(format!("unknown preset {p}"));
+        }
+    }
+    if let Some(p) = args.get("partition") {
+        if !matches!(p, "block" | "rr" | "bfs") {
+            return Err(format!("unknown partition {p}"));
+        }
+    }
+    if let Some(k) = args.get("kind") {
+        if !matches!(k, "graph" | "replay" | "clusters") {
+            return Err(format!(
+                "unknown --kind {k} (expected graph | replay | clusters)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Load every file under one target's corpus directory, sorted by file
+/// name so the replay order (and any failure report) is deterministic.
+/// A missing directory is an empty corpus, not an error — targets gain
+/// corpus entries independently.
+fn read_corpus_dir(dir: &str) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let mut entries = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(format!("read {dir}: {e}")),
+    };
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read {dir}: {e}"))?;
+        let path = entry.path();
+        if path.is_file() {
+            let bytes =
+                std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            entries.push((entry.file_name().to_string_lossy().into_owned(), bytes));
+        }
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// `casbn fuzz` — run the deterministic fuzzing and differential-oracle
+/// harness. Exit codes: 0 clean, 1 crashes found, 2 usage error.
+pub fn fuzz(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{FUZZ_USAGE}");
+        return 0;
+    }
+    let mut found = false;
+    let mut run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        // a typo'd flag would silently fuzz the wrong campaign — reject
+        args.reject_unknown(&["target", "iters", "seed", "corpus", "minimize"], &[])?;
+        let mut targets = casbn_fuzz::all_targets(fuzz_argv_check);
+        if let Some(name) = args.get("target") {
+            if name != "all" {
+                targets.retain(|t| t.name() == name);
+                if targets.is_empty() {
+                    return Err(format!(
+                        "unknown --target {name} (expected all | {})",
+                        casbn_fuzz::TARGET_NAMES.join(" | ")
+                    ));
+                }
+            }
+        }
+        let cfg = FuzzConfig {
+            iters: args.get_or("iters", 1000)?,
+            seed: args.get_or("seed", 0)?,
+            ..Default::default()
+        };
+
+        if let Some(path) = args.get("minimize") {
+            let [target] = &mut targets[..] else {
+                return Err("--minimize needs a single --target to run the input against".into());
+            };
+            let input = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+            let min = casbn_fuzz::minimize(target.as_mut(), &input, cfg.max_alloc);
+            match casbn_fuzz::execute_one(target.as_mut(), &min, cfg.max_alloc) {
+                Execution::Failed(kind, msg) => {
+                    let out = format!("{path}.min");
+                    std::fs::write(&out, &min).map_err(|e| format!("write {out}: {e}"))?;
+                    println!(
+                        "{}: {} bytes -> {} bytes ({}: {msg})",
+                        target.name(),
+                        input.len(),
+                        min.len(),
+                        kind.name()
+                    );
+                    eprintln!("wrote {out}");
+                }
+                Execution::Clean(_) => {
+                    return Err(format!(
+                        "{path} does not fail target {}; nothing to minimize",
+                        target.name()
+                    ));
+                }
+            }
+            return Ok(());
+        }
+
+        let corpus = args.get("corpus");
+        for target in &mut targets {
+            let name = target.name();
+            if let Some(dir) = corpus {
+                let entries = read_corpus_dir(&format!("{dir}/{name}"))?;
+                let crashes = casbn_fuzz::replay_corpus(target.as_mut(), &entries, cfg.max_alloc);
+                println!(
+                    "{name:<18} corpus: {} entries replayed, {} failed",
+                    entries.len(),
+                    crashes.len()
+                );
+                for c in &crashes {
+                    eprintln!("  [{}] {}", c.kind.name(), c.message);
+                }
+                found |= !crashes.is_empty();
+            }
+            let report = casbn_fuzz::run_target(target.as_mut(), &cfg);
+            println!(
+                "{name:<18} {:>7} iters  {:>6} accepted  {:>6} rejected  \
+                 {:>2} crashes  trace {:#018x}  peak {} KiB",
+                report.executed,
+                report.accepted,
+                report.rejected,
+                report.crashes.len(),
+                report.trace_checksum,
+                report.peak_alloc / 1024,
+            );
+            for c in &report.crashes {
+                eprintln!("  [{} @ iter {}] {}", c.kind.name(), c.iteration, c.message);
+                if let Some(dir) = corpus {
+                    let out = format!(
+                        "{dir}/{name}/crash-{}-s{}-i{}.bin",
+                        c.kind.name(),
+                        cfg.seed,
+                        c.iteration
+                    );
+                    std::fs::write(&out, &c.input).map_err(|e| format!("write {out}: {e}"))?;
+                    eprintln!("  wrote {out}");
+                }
+            }
+            found |= !report.crashes.is_empty();
+        }
+        Ok(())
+    };
+    match run() {
+        Err(e) => fail(&e),
+        Ok(()) if found => 1,
         Ok(()) => 0,
     }
 }

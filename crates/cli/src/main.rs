@@ -2,6 +2,13 @@
 //! `commands::USAGE` for the subcommand reference.
 
 use casbn_cli::commands;
+use casbn_fuzz::CountingAlloc;
+
+/// Counting allocator so `casbn fuzz` can enforce its per-iteration
+/// heap-growth cap; a no-op wrapper around `System` for every other
+/// subcommand.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +23,7 @@ fn main() {
         Some("pack") => commands::pack(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),
         Some("verify") => commands::verify(&argv[1..]),
+        Some("fuzz") => commands::fuzz(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -2,7 +2,7 @@
 //! [`commands::USAGE`], and `USAGE` documents exactly the flags the
 //! subcommands parse.
 
-use casbn_cli::commands::{BENCH_USAGE, STREAM_USAGE, USAGE};
+use casbn_cli::commands::{BENCH_USAGE, FUZZ_USAGE, STREAM_USAGE, USAGE};
 use std::process::Command;
 
 /// Every `--flag` a subcommand reads via `Args` (grep `args.(get|require|
@@ -37,6 +37,10 @@ const PARSED_FLAGS: &[&str] = &[
     "--resume",
     "--windows",
     "--kind",
+    "--target",
+    "--iters",
+    "--corpus",
+    "--minimize",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -67,6 +71,9 @@ const STREAM_FLAGS: &[&str] = &[
     "--resume",
     "--windows",
 ];
+
+/// The `fuzz` flags, also documented in the subcommand's own help.
+const FUZZ_FLAGS: &[&str] = &["--target", "--iters", "--seed", "--corpus", "--minimize"];
 
 #[test]
 fn help_snapshot_matches_usage_constant() {
@@ -153,6 +160,50 @@ fn stream_usage_documents_every_stream_flag() {
 }
 
 #[test]
+fn fuzz_help_snapshot_matches_fuzz_usage_constant() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["fuzz", "--help"])
+        .output()
+        .expect("run casbn fuzz --help");
+    assert!(out.status.success(), "fuzz --help exited nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 help output");
+    assert_eq!(stdout, FUZZ_USAGE, "fuzz help drifted from FUZZ_USAGE");
+}
+
+#[test]
+fn fuzz_usage_documents_every_fuzz_flag() {
+    for flag in FUZZ_FLAGS {
+        assert!(FUZZ_USAGE.contains(flag), "FUZZ_USAGE is missing `{flag}`");
+    }
+}
+
+#[test]
+fn fuzz_rejects_bad_inputs() {
+    // unknown target name
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["fuzz", "--target", "frobnicator", "--iters", "1"])
+        .output()
+        .expect("run casbn fuzz --target frobnicator");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown --target"), "got {stderr:?}");
+    // typo'd flag must not be silently ignored
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["fuzz", "--itres", "1"])
+        .output()
+        .expect("run casbn fuzz with typo");
+    assert_eq!(out.status.code(), Some(2));
+    // --minimize over all targets is ambiguous
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["fuzz", "--minimize", "whatever.bin"])
+        .output()
+        .expect("run casbn fuzz --minimize without --target");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("single --target"), "got {stderr:?}");
+}
+
+#[test]
 fn stream_rejects_bad_inputs() {
     // no source at all
     let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
@@ -220,7 +271,7 @@ fn bench_rejects_bad_scale() {
 fn usage_names_every_subcommand_and_algorithm() {
     for sub in [
         "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "pack", "inspect",
-        "verify", "help",
+        "verify", "fuzz", "help",
     ] {
         assert!(
             USAGE.contains(&format!("casbn {sub}")),

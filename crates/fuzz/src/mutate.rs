@@ -1,0 +1,166 @@
+//! Generic byte-level mutators.
+//!
+//! These operate on any input, structured or not: single-bit flips,
+//! truncation at the offset classes binary formats care about (header
+//! boundary, 8-byte alignment, last byte), chunk splices and
+//! duplications, zero/`0xFF` runs, and little-endian integer tampering
+//! aimed at length and count fields. The structure-aware generators in
+//! [`crate::targets`] build a plausible input first; a pass through
+//! [`mutate`] then drives it off the happy path.
+
+use crate::rng::FuzzRng;
+
+/// Apply `rounds` random mutations to `buf` in place. An empty buffer
+/// only grows (by insertion), never indexes.
+pub fn mutate(buf: &mut Vec<u8>, rng: &mut FuzzRng, rounds: usize) {
+    for _ in 0..rounds {
+        match rng.below(9) {
+            0 => bit_flip(buf, rng),
+            1 => byte_set(buf, rng),
+            2 => truncate(buf, rng),
+            3 => splice(buf, rng),
+            4 => duplicate(buf, rng),
+            5 => constant_run(buf, rng, 0x00),
+            6 => constant_run(buf, rng, 0xFF),
+            7 => integer_tamper(buf, rng, 4),
+            _ => integer_tamper(buf, rng, 8),
+        }
+    }
+}
+
+/// Flip one bit.
+pub fn bit_flip(buf: &mut [u8], rng: &mut FuzzRng) {
+    if buf.is_empty() {
+        return;
+    }
+    let i = rng.below(buf.len());
+    buf[i] ^= 1 << rng.below(8);
+}
+
+/// Overwrite one byte with a random value.
+pub fn byte_set(buf: &mut [u8], rng: &mut FuzzRng) {
+    if buf.is_empty() {
+        return;
+    }
+    let i = rng.below(buf.len());
+    buf[i] = rng.u64() as u8;
+}
+
+/// Truncate at an interesting offset class: somewhere in the first 64
+/// bytes (headers), an 8-byte-aligned boundary (section/field edges),
+/// one byte short of the end, or anywhere.
+pub fn truncate(buf: &mut Vec<u8>, rng: &mut FuzzRng) {
+    if buf.is_empty() {
+        return;
+    }
+    let cut = match rng.below(4) {
+        0 => rng.below(buf.len().min(64)),
+        1 => {
+            let words = buf.len() / 8;
+            8 * rng.below(words + 1)
+        }
+        2 => buf.len() - 1,
+        _ => rng.below(buf.len()),
+    };
+    buf.truncate(cut);
+}
+
+/// Copy a random chunk over another position (in-place overwrite).
+pub fn splice(buf: &mut [u8], rng: &mut FuzzRng) {
+    if buf.len() < 2 {
+        return;
+    }
+    let len = rng.range(1, (buf.len() / 2).max(2));
+    let src = rng.below(buf.len() - len + 1);
+    let dst = rng.below(buf.len() - len + 1);
+    buf.copy_within(src..src + len, dst);
+}
+
+/// Insert a duplicated chunk, growing the buffer (bounded: at most
+/// doubles once per call, and never beyond 1 MiB).
+pub fn duplicate(buf: &mut Vec<u8>, rng: &mut FuzzRng) {
+    if buf.is_empty() || buf.len() >= 1 << 20 {
+        return;
+    }
+    let len = rng.range(1, buf.len().min(256) + 1);
+    let src = rng.below(buf.len() - len + 1);
+    let chunk: Vec<u8> = buf[src..src + len].to_vec();
+    let at = rng.below(buf.len() + 1);
+    buf.splice(at..at, chunk);
+}
+
+/// Overwrite a short run with a constant (`0x00` simulates lost data,
+/// `0xFF` saturated fields).
+pub fn constant_run(buf: &mut [u8], rng: &mut FuzzRng, value: u8) {
+    if buf.is_empty() {
+        return;
+    }
+    let len = rng.range(1, buf.len().min(64) + 1);
+    let at = rng.below(buf.len() - len + 1);
+    buf[at..at + len].fill(value);
+}
+
+/// Overwrite an aligned `width`-byte little-endian integer with an
+/// interesting magnitude — the classic length/count-field attack.
+pub fn integer_tamper(buf: &mut [u8], rng: &mut FuzzRng, width: usize) {
+    if buf.len() < width {
+        return;
+    }
+    let slots = buf.len() / width;
+    let at = width * rng.below(slots);
+    let value = rng.interesting_u64();
+    buf[at..at + width].copy_from_slice(&value.to_le_bytes()[..width]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> FuzzRng {
+        FuzzRng::for_iteration(99, "mutate-test", 0)
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let base: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        mutate(&mut a, &mut rng(), 16);
+        mutate(&mut b, &mut rng(), 16);
+        assert_eq!(a, b);
+        assert_ne!(a, base, "16 rounds should move a 200-byte buffer");
+    }
+
+    #[test]
+    fn empty_buffers_never_panic() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let mut empty: Vec<u8> = Vec::new();
+            mutate(&mut empty, &mut r, 4);
+            let mut tiny = vec![7u8];
+            mutate(&mut tiny, &mut r, 4);
+        }
+    }
+
+    #[test]
+    fn growth_is_bounded() {
+        let mut r = rng();
+        let mut buf = vec![1u8; 1024];
+        for _ in 0..2000 {
+            mutate(&mut buf, &mut r, 1);
+            assert!(buf.len() <= (1 << 20) + (1 << 20), "unbounded growth");
+        }
+    }
+
+    #[test]
+    fn integer_tamper_respects_width() {
+        let mut r = rng();
+        let mut buf = vec![0u8; 3];
+        integer_tamper(&mut buf, &mut r, 8); // too short: no-op
+        assert_eq!(buf, vec![0u8; 3]);
+        let mut buf = vec![0u8; 16];
+        integer_tamper(&mut buf, &mut r, 8);
+        // only one aligned 8-byte slot may have changed
+        assert!(buf.len() == 16);
+    }
+}

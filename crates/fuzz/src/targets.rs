@@ -1,0 +1,933 @@
+//! The target registry: one [`Target`] per input surface.
+//!
+//! A target owns two things: a **structure-aware generator** that
+//! produces a plausible input for its grammar (then usually drives it
+//! off the rails with the byte mutators), and a **driver** that feeds
+//! the input to the real parsing surface and checks the invariants:
+//!
+//! 1. malformed input is rejected with a typed `Err` whose `Display`
+//!    renders — never a panic (panics are caught by the engine);
+//! 2. accepted input survives its **differential oracle** — parse →
+//!    re-encode → re-parse equality for the text and binary grammars,
+//!    and resume-from-checkpoint replaying to the uninterrupted run's
+//!    exact checksum for the streaming surface;
+//! 3. no iteration allocates past the engine's cap (measured by
+//!    [`crate::alloc`] when the counting allocator is installed).
+//!
+//! [`Target::run`] returns `Ok(Accepted)` / `Ok(Rejected)` when the
+//! invariants hold and `Err(description)` on an oracle violation; the
+//! engine layers panic catching and allocation accounting on top.
+
+use crate::mutate::mutate;
+use crate::rng::FuzzRng;
+use casbn_expr::store as expr_store;
+use casbn_expr::{DatasetPreset, ExpressionMatrix};
+use casbn_graph::io::{read_edge_list, write_edge_list, write_weighted_edge_list};
+use casbn_graph::store as graph_store;
+use casbn_graph::{generators::gnm, DeltaGraph, EdgeDelta};
+use casbn_mcode::store as mcode_store;
+use casbn_mcode::Cluster;
+use casbn_store::{is_store_bytes, SectionKind, Store, StoreWriter, MAGIC};
+use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
+
+/// What a clean iteration did with its input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The input parsed; every differential oracle held.
+    Accepted,
+    /// The input was rejected with a typed error (the guarantee under
+    /// test: rejected, not panicked).
+    Rejected,
+}
+
+/// One fuzzable input surface.
+pub trait Target {
+    /// Stable registry name (also the corpus subdirectory).
+    fn name(&self) -> &'static str;
+
+    /// Produce one input. Must be a pure function of `rng` so a
+    /// `(seed, iteration)` coordinate reproduces the input exactly.
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8>;
+
+    /// Drive the surface. `Err` is an oracle violation; panics are the
+    /// engine's to catch.
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String>;
+}
+
+/// Signature of the CLI argv validation hook. The `casbn_cli` crate
+/// injects its real flag-parsing path here (`casbn_fuzz` cannot depend
+/// on `casbn_cli` — the CLI's `fuzz` subcommand depends on this crate).
+/// `Ok` means the argv was parsed (or typed-rejected) without incident;
+/// `Err` is the parser's typed rejection.
+pub type ArgvCheck = fn(&[String]) -> Result<(), String>;
+
+/// The four targets that need no injection.
+pub fn builtin_targets() -> Vec<Box<dyn Target>> {
+    vec![
+        Box::new(EdgeListTarget),
+        Box::new(ReplayTarget),
+        Box::new(CsbnTarget),
+        Box::new(CheckpointTarget::new()),
+    ]
+}
+
+/// All five targets, with the CLI argv surface wired to `check`.
+pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
+    let mut ts = builtin_targets();
+    ts.push(Box::new(ArgvTarget { check }));
+    ts
+}
+
+/// Registry names in canonical order.
+pub const TARGET_NAMES: [&str; 5] = [
+    "edge-list",
+    "replay",
+    "csbn",
+    "checkpoint-resume",
+    "cli-argv",
+];
+
+/// Bit-equality that treats every NaN as equal: adversarial text can
+/// carry `-NaN`, whose sign Rust's float formatter drops, so a
+/// round-tripped NaN may change payload bits without being a bug.
+fn f64_same(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+// ---------------------------------------------------------------- edge-list
+
+/// Whitespace edge-list text (`casbn_graph::io::read_edge_list`) —
+/// every `--in` network the CLI accepts.
+struct EdgeListTarget;
+
+impl Target for EdgeListTarget {
+    fn name(&self) -> &'static str {
+        "edge-list"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        const ODD_TOKENS: &[&str] = &[
+            "x",
+            "-1",
+            "4294967295",
+            "4294967296",
+            "99999999999999999999",
+            "1e3",
+            "0x10",
+            "NaN",
+            "inf",
+            "+7",
+            "07",
+            "",
+            "#",
+        ];
+        let mut out = String::new();
+        let ids = rng.range(2, 64);
+        for _ in 0..rng.below(24) {
+            match rng.below(8) {
+                0 => out.push_str("# comment line\n"),
+                1 => out.push('\n'),
+                2 => {
+                    // deliberately odd line
+                    let k = rng.range(1, 4);
+                    for i in 0..k {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        out.push_str(ODD_TOKENS[rng.below(ODD_TOKENS.len())]);
+                    }
+                    out.push('\n');
+                }
+                _ => {
+                    let u = rng.below(ids);
+                    let v = rng.below(ids);
+                    let sep = if rng.chance(1, 4) { '\t' } else { ' ' };
+                    out.push_str(&format!("{u}{sep}{v}"));
+                    if rng.chance(1, 3) {
+                        let w = [0.5, 1.0, -3.25, 0.95, 1e300, -0.0][rng.below(6)];
+                        out.push_str(&format!("{sep}{w}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        let mut bytes = out.into_bytes();
+        if rng.chance(1, 2) {
+            let rounds = rng.range(1, 8);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        let (g, weights) = match read_edge_list(input, 0) {
+            Err(e) => {
+                let _ = e.to_string();
+                return Ok(Outcome::Rejected);
+            }
+            Ok(parsed) => parsed,
+        };
+        // oracle 1: write → re-read reproduces the graph exactly
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, Some("fuzz round-trip"))
+            .map_err(|e| format!("write_edge_list failed on parsed graph: {e}"))?;
+        let (g2, _) = read_edge_list(&buf[..], g.n())
+            .map_err(|e| format!("re-parse of written edge list rejected: {e}"))?;
+        if !g.same_edges(&g2) || g.n() != g2.n() {
+            return Err("edge-list round-trip changed the graph".into());
+        }
+        // oracle 2: the weighted form round-trips value-exactly
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&weights, &mut buf, None)
+            .map_err(|e| format!("write_weighted_edge_list failed: {e}"))?;
+        let (_, w2) = read_edge_list(&buf[..], 0)
+            .map_err(|e| format!("re-parse of weighted edge list rejected: {e}"))?;
+        if weights.len() != w2.len()
+            || weights
+                .iter()
+                .zip(&w2)
+                .any(|(a, b)| a.0 != b.0 || !f64_same(a.1, b.1))
+        {
+            return Err("weighted edge-list round-trip changed the weights".into());
+        }
+        Ok(Outcome::Accepted)
+    }
+}
+
+// ------------------------------------------------------------------- replay
+
+/// Sample-major replay text (`casbn_stream::read_replay`) — the
+/// `casbn stream --in` wire format.
+struct ReplayTarget;
+
+impl Target for ReplayTarget {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        const VALUES: &[&str] = &[
+            "0", "1", "-1.5", "0.25", "1e300", "-1e-300", "-0.0", "nan", "inf", "-inf", "3.", ".5",
+            "1_000", "0x1", "seven", "",
+        ];
+        let genes = rng.below(10);
+        let mut out = String::new();
+        for _ in 0..rng.below(12) {
+            if rng.chance(1, 8) {
+                out.push_str("# comment\n");
+                continue;
+            }
+            // usually the first row's width, sometimes ragged
+            let width = if rng.chance(1, 6) {
+                rng.below(12)
+            } else {
+                genes
+            };
+            let line: Vec<&str> = (0..width).map(|_| *rng.pick(VALUES)).collect();
+            out.push_str(&line.join(" "));
+            out.push('\n');
+        }
+        let mut bytes = out.into_bytes();
+        if rng.chance(1, 2) {
+            let rounds = rng.range(1, 8);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        let m = match read_replay(input) {
+            Err(e) => {
+                let _ = e.to_string();
+                return Ok(Outcome::Rejected);
+            }
+            Ok(m) => m,
+        };
+        let mut buf = Vec::new();
+        write_replay(&m, &mut buf, Some("fuzz round-trip"))
+            .map_err(|e| format!("write_replay failed on parsed matrix: {e}"))?;
+        let back = read_replay(&buf[..])
+            .map_err(|e| format!("re-parse of written replay rejected: {e}"))?;
+        if back.genes() != m.genes() || back.samples() != m.samples() {
+            return Err(format!(
+                "replay round-trip changed the shape: {}x{} -> {}x{}",
+                m.genes(),
+                m.samples(),
+                back.genes(),
+                back.samples()
+            ));
+        }
+        if m.data()
+            .iter()
+            .zip(back.data())
+            .any(|(&a, &b)| !f64_same(a, b))
+        {
+            return Err("replay round-trip changed a cell value".into());
+        }
+        Ok(Outcome::Accepted)
+    }
+}
+
+// --------------------------------------------------------------------- csbn
+
+/// `.csbn` binary containers (`casbn_store::Store::parse` plus every
+/// typed section codec) — the surface `pack`/`inspect`/`verify` and all
+/// auto-detected `--in` files share.
+struct CsbnTarget;
+
+impl CsbnTarget {
+    /// A structurally valid section of a random kind.
+    fn valid_section(w: &mut StoreWriter, rng: &mut FuzzRng) {
+        match rng.below(4) {
+            0 => {
+                let n = rng.range(0, 24);
+                let m = rng.below(n * 2 + 1).min(n.saturating_sub(1) * n / 2);
+                graph_store::add_graph(w, rng.below(3) as u32, &gnm(n, m, rng.u64()));
+            }
+            1 => {
+                let genes = rng.below(6);
+                let samples = rng.below(6);
+                let data: Vec<f64> = (0..genes * samples)
+                    .map(|_| (rng.below(1000) as f64) / 8.0 - 40.0)
+                    .collect();
+                expr_store::add_matrix(
+                    w,
+                    rng.below(3) as u32,
+                    &ExpressionMatrix::from_rows(genes, samples, data),
+                );
+            }
+            2 => {
+                let clusters: Vec<Cluster> = (0..rng.below(4))
+                    .map(|_| {
+                        let k = rng.range(1, 6) as u32;
+                        let base = rng.below(100) as u32;
+                        Cluster {
+                            vertices: (0..k).map(|i| base + 2 * i).collect(),
+                            edges: (1..k).map(|i| (base, base + 2 * i)).collect(),
+                            score: (rng.below(64) as f64) / 4.0,
+                            seed: base,
+                        }
+                    })
+                    .collect();
+                mcode_store::add_clusters(w, rng.below(3) as u32, &clusters);
+            }
+            _ => {
+                let n = rng.range(2, 20);
+                let g = gnm(n, rng.below(n * 2).min((n - 1) * n / 2), rng.u64());
+                let mut d = DeltaGraph::from_graph(&g).with_compaction_threshold(1 << 20);
+                let mut delta = EdgeDelta::default();
+                for _ in 0..rng.below(6) {
+                    let u = rng.below(n) as u32;
+                    let v = rng.below(n) as u32;
+                    if u != v {
+                        delta.inserts.push((u.min(v), u.max(v)));
+                    }
+                }
+                delta.inserts.sort_unstable();
+                delta.inserts.dedup();
+                d.apply(&delta);
+                graph_store::add_delta_graph(w, rng.below(3) as u32, &d);
+            }
+        }
+    }
+
+    /// A handcrafted payload that only *resembles* a section of `kind` —
+    /// the codec-level attack surface (field and count tampering beyond
+    /// what the byte mutators reach, with a *valid* container checksum).
+    fn hostile_payload(rng: &mut FuzzRng) -> (SectionKind, Vec<u8>) {
+        let kind = *rng.pick(&[
+            SectionKind::Graph,
+            SectionKind::Matrix,
+            SectionKind::Clusters,
+            SectionKind::DeltaGraph,
+        ]);
+        let words = rng.below(12);
+        let mut e = casbn_store::Enc::new();
+        for _ in 0..words {
+            e.u64(rng.interesting_u64());
+        }
+        (kind, e.into_payload())
+    }
+
+    /// Check one known-kind section: a payload the codec accepts must
+    /// re-encode to the identical bytes (parse → re-encode → re-parse).
+    fn check_section(kind: u32, tag: u32, payload: &[u8]) -> Result<Outcome, String> {
+        let reencoded: Vec<u8> = match SectionKind::from_u32(kind) {
+            Some(SectionKind::Graph) => match graph_store::csr_from_payload(payload) {
+                Err(e) => {
+                    let _ = e.to_string();
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(c) => {
+                    let mut w = StoreWriter::new();
+                    graph_store::add_csr(&mut w, tag, &c);
+                    Self::sole_payload(&w)
+                }
+            },
+            Some(SectionKind::Matrix) => match expr_store::matrix_from_payload(payload) {
+                Err(e) => {
+                    let _ = e.to_string();
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(m) => {
+                    let mut w = StoreWriter::new();
+                    expr_store::add_matrix(&mut w, tag, &m);
+                    Self::sole_payload(&w)
+                }
+            },
+            Some(SectionKind::Clusters) => match mcode_store::clusters_from_payload(payload) {
+                Err(e) => {
+                    let _ = e.to_string();
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(cs) => {
+                    let mut w = StoreWriter::new();
+                    mcode_store::add_clusters(&mut w, tag, &cs);
+                    Self::sole_payload(&w)
+                }
+            },
+            Some(SectionKind::DeltaGraph) => match graph_store::delta_graph_from_payload(payload) {
+                Err(e) => {
+                    let _ = e.to_string();
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(d) => {
+                    let mut w = StoreWriter::new();
+                    graph_store::add_delta_graph(&mut w, tag, &d);
+                    Self::sole_payload(&w)
+                }
+            },
+            // checkpoint-only scalar sections and unknown kinds have no
+            // standalone codec here
+            _ => return Ok(Outcome::Accepted),
+        };
+        if reencoded != payload {
+            return Err(format!(
+                "section kind {} ({}) decoded but did not re-encode identically \
+                 ({} bytes in, {} bytes out)",
+                kind,
+                SectionKind::name_of(kind),
+                payload.len(),
+                reencoded.len()
+            ));
+        }
+        Ok(Outcome::Accepted)
+    }
+
+    /// Payload bytes of a single-section writer.
+    fn sole_payload(w: &StoreWriter) -> Vec<u8> {
+        let bytes = w.to_bytes();
+        let store = Store::parse(&bytes).expect("writer output must parse");
+        store.payload(0).to_vec()
+    }
+}
+
+impl Target for CsbnTarget {
+    fn name(&self) -> &'static str {
+        "csbn"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        let mut bytes = match rng.below(8) {
+            // raw noise behind the magic: pure header/table fuzzing
+            0 => {
+                let mut b = MAGIC.to_vec();
+                let mut tail = vec![0u8; rng.below(160)];
+                rng.fill(&mut tail);
+                b.extend_from_slice(&tail);
+                b
+            }
+            _ => {
+                let mut w = StoreWriter::new();
+                for _ in 0..rng.below(4) {
+                    if rng.chance(1, 3) {
+                        let (kind, payload) = Self::hostile_payload(rng);
+                        w.add(kind, rng.below(4) as u32, payload);
+                    } else {
+                        Self::valid_section(&mut w, rng);
+                    }
+                }
+                w.to_bytes()
+            }
+        };
+        if rng.chance(2, 3) {
+            let rounds = rng.range(1, 10);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        // the CLI's sniff must agree with the parser's magic gate
+        let sniffed = is_store_bytes(input);
+        let store = match Store::parse(input) {
+            Err(e) => {
+                let msg = e.to_string();
+                if msg.is_empty() {
+                    return Err("store error with empty Display".into());
+                }
+                if !sniffed && !matches!(e, casbn_store::StoreError::BadMagic) {
+                    return Err(format!(
+                        "sniff said 'not a container' but parse failed with {msg:?} \
+                         instead of BadMagic"
+                    ));
+                }
+                return Ok(Outcome::Rejected);
+            }
+            Ok(s) => s,
+        };
+        if !sniffed {
+            return Err("container parsed but is_store_bytes rejected it".into());
+        }
+        let mut any_accepted = false;
+        for (i, entry) in store.sections().iter().enumerate() {
+            match Self::check_section(entry.kind, entry.tag, store.payload(i))? {
+                Outcome::Accepted => any_accepted = true,
+                Outcome::Rejected => {}
+            }
+        }
+        Ok(if any_accepted {
+            Outcome::Accepted
+        } else {
+            Outcome::Rejected
+        })
+    }
+}
+
+// -------------------------------------------------------- checkpoint-resume
+
+/// Stream checkpoint containers (`StreamDriver::resume_from`) — the
+/// long-lived daemon's most security-sensitive surface, because a
+/// checkpoint smuggles *state*, not just data.
+///
+/// The oracle is the strict one from the differential suite: a
+/// checkpoint either fails to resume with a typed error, or the resumed
+/// driver replays the rest of the template stream to the uninterrupted
+/// run's exact checksum.
+struct CheckpointTarget {
+    /// Template replay matrix (tiny YNG synthesis, pinned).
+    matrix: ExpressionMatrix,
+    /// Checksum of the uninterrupted template run.
+    reference: u64,
+    /// Pristine checkpoints taken at every interior window boundary.
+    pristine: Vec<Vec<u8>>,
+}
+
+impl CheckpointTarget {
+    fn new() -> CheckpointTarget {
+        let matrix = synthesize_replay(DatasetPreset::Yng, 0.01, Some(8));
+        let cfg = StreamConfig {
+            batch: 2,
+            ..Default::default()
+        };
+        let reference = StreamDriver::run(&matrix, cfg).checksum;
+        let mut pristine = Vec::new();
+        let mut driver = StreamDriver::new(matrix.genes(), cfg);
+        let mut lo = 0;
+        while lo < matrix.samples() {
+            let hi = (lo + 2).min(matrix.samples());
+            driver.ingest_window(&matrix.columns(lo, hi));
+            lo = hi;
+            if lo < matrix.samples() {
+                pristine.push(Self::canonicalize(&driver.checkpoint_bytes()));
+            }
+        }
+        CheckpointTarget {
+            matrix,
+            reference,
+            pristine,
+        }
+    }
+
+    /// Zero the one non-deterministic field a checkpoint carries — the
+    /// measured wall-clock nanoseconds of each window record — so the
+    /// template bytes (and with them the whole iteration trace) are
+    /// identical across machines and runs. The driver's checksum covers
+    /// only the integer window metrics, so a zero wall time resumes and
+    /// replays exactly like the original.
+    fn canonicalize(bytes: &[u8]) -> Vec<u8> {
+        let store = Store::parse(bytes).expect("pristine checkpoint must parse");
+        let mut w = StoreWriter::new();
+        for (i, entry) in store.sections().iter().enumerate() {
+            let mut payload = store.payload(i).to_vec();
+            if SectionKind::from_u32(entry.kind) == Some(SectionKind::DriverState) {
+                // fixed driver fields: 72 bytes, then the stability-set
+                // count + entries, then the window count and 88-byte
+                // window records with the wall field in the last 8 bytes
+                let nprev = u64::from_le_bytes(payload[72..80].try_into().unwrap()) as usize;
+                let records = 80 + 4 * nprev + 8;
+                let nwin =
+                    u64::from_le_bytes(payload[records - 8..records].try_into().unwrap()) as usize;
+                for k in 0..nwin {
+                    let wall = records + 88 * k + 80;
+                    payload[wall..wall + 8].fill(0);
+                }
+            }
+            let kind = SectionKind::from_u32(entry.kind).expect("pristine kinds are known");
+            w.add(kind, entry.tag, payload);
+        }
+        w.to_bytes()
+    }
+
+    /// Rebuild a pristine checkpoint with one section's payload bytes
+    /// transformed — and every container checksum *recomputed*, so the
+    /// tampering reaches the semantic validation layer instead of dying
+    /// at the FNV gate.
+    ///
+    /// Every tamper targets a field the resume validation *checks*
+    /// (counters, structure lengths, enum ranges, ordering invariants).
+    /// Fields validation legitimately cannot see — accumulator floats,
+    /// clustering parameters, window history — are left alone: a
+    /// plausible tampered accumulator is indistinguishable from a real
+    /// one, so mutating it would make the replay-checksum oracle flag
+    /// unfalsifiable "violations".
+    fn tamper(&self, rng: &mut FuzzRng, base: &[u8]) -> Vec<u8> {
+        let store = Store::parse(base).expect("pristine checkpoint must parse");
+        let sections = store.sections();
+        let by_kind = |kind: SectionKind| {
+            sections
+                .iter()
+                .position(|e| e.kind == kind.as_u32())
+                .expect("pristine checkpoint has every section kind")
+        };
+        let mode = rng.below(8);
+        let victim = match mode {
+            0 | 1 => rng.below(sections.len()),
+            2 => by_kind(SectionKind::DeltaGraph),
+            3 | 4 => by_kind(SectionKind::DriverState),
+            5 | 6 => by_kind(SectionKind::ChordalState),
+            _ => by_kind(SectionKind::OnlineCorrelation),
+        };
+        let mut w = StoreWriter::new();
+        for (i, entry) in sections.iter().enumerate() {
+            let mut payload = store.payload(i).to_vec();
+            if i == victim {
+                match mode {
+                    // truncate any section at an 8-byte boundary: every
+                    // decoder's declared lengths + `finish` must catch it
+                    0 => {
+                        let words = payload.len() / 8;
+                        payload.truncate(8 * rng.below(words + 1));
+                    }
+                    // splice garbage past any section's end: `finish`
+                    // must reject the trailing bytes
+                    1 => {
+                        let extra = 8 * rng.range(1, 4);
+                        let mut tail = vec![0u8; extra];
+                        rng.fill(&mut tail);
+                        payload.extend_from_slice(&tail);
+                    }
+                    // falsify the delta graph's live-edge counter: the
+                    // counters-vs-overlay cross-check must catch it
+                    2 => {
+                        let m = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+                        payload[8..16].copy_from_slice(&m.wrapping_add(1).to_le_bytes());
+                    }
+                    // zero batch size: explicitly validated
+                    3 => payload[..8].fill(0),
+                    // corrupt the stability set: entries must be
+                    // ascending and < genes, so u32::MAX up front breaks
+                    // one or the other whenever the set is non-empty
+                    4 => {
+                        let nprev = u64::from_le_bytes(payload[72..80].try_into().unwrap());
+                        if nprev > 0 {
+                            payload[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
+                        }
+                    }
+                    // out-of-range selection-rule discriminant
+                    5 => {
+                        let bad = 2 + (rng.u64() % 1000) as u32;
+                        payload[..4].copy_from_slice(&bad.to_le_bytes());
+                    }
+                    // nonzero alignment spacer
+                    6 => payload[4..8].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes()),
+                    // inflate the gene count: every array length and the
+                    // cross-section vertex-count checks depend on it
+                    _ => {
+                        let g = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                        payload[..8].copy_from_slice(&g.wrapping_add(1).to_le_bytes());
+                    }
+                }
+            }
+            let kind = SectionKind::from_u32(entry.kind).expect("pristine kinds are known");
+            w.add(kind, entry.tag, payload);
+        }
+        w.to_bytes()
+    }
+}
+
+impl Target for CheckpointTarget {
+    fn name(&self) -> &'static str {
+        "checkpoint-resume"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        let base = &self.pristine[rng.below(self.pristine.len())];
+        match rng.below(8) {
+            // pristine: exercises the full resume → replay oracle
+            0 => base.clone(),
+            // semantically tampered but checksum-valid
+            1..=3 => self.tamper(rng, base),
+            // byte-mutated: hammers the checksum and framing layers
+            _ => {
+                let mut bytes = base.clone();
+                let rounds = rng.range(1, 10);
+                mutate(&mut bytes, rng, rounds);
+                bytes
+            }
+        }
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        let store = match Store::parse(input) {
+            Err(e) => {
+                let _ = e.to_string();
+                return Ok(Outcome::Rejected);
+            }
+            Ok(s) => s,
+        };
+        let mut driver = match StreamDriver::resume_from(&store) {
+            Err(e) => {
+                let msg = e.to_string();
+                if msg.is_empty() {
+                    return Err("resume error with empty Display".into());
+                }
+                return Ok(Outcome::Rejected);
+            }
+            Ok(d) => d,
+        };
+        // the resume was accepted: it must now replay to the
+        // uninterrupted run's exact checksum
+        if driver.genes() != self.matrix.genes() {
+            return Err(format!(
+                "resume accepted a checkpoint with {} genes (template has {})",
+                driver.genes(),
+                self.matrix.genes()
+            ));
+        }
+        if driver.samples_ingested() > self.matrix.samples() {
+            return Err(format!(
+                "resume accepted a checkpoint {} samples into an {}-sample stream",
+                driver.samples_ingested(),
+                self.matrix.samples()
+            ));
+        }
+        let batch = driver.config().batch;
+        if batch == 0 {
+            return Err("resume accepted a zero batch size".into());
+        }
+        let mut lo = driver.samples_ingested();
+        while lo < self.matrix.samples() {
+            let hi = (lo + batch).min(self.matrix.samples());
+            driver.ingest_window(&self.matrix.columns(lo, hi));
+            lo = hi;
+        }
+        let got = driver.checksum();
+        if got != self.reference {
+            return Err(format!(
+                "accepted checkpoint diverged from the uninterrupted run: \
+                 checksum {got} != {}",
+                self.reference
+            ));
+        }
+        Ok(Outcome::Accepted)
+    }
+}
+
+// ----------------------------------------------------------------- cli-argv
+
+/// CLI argv vectors, encoded one token per `\n`-separated line. The
+/// driver is injected by `casbn_cli` (see [`ArgvCheck`]).
+struct ArgvTarget {
+    check: ArgvCheck,
+}
+
+/// Decode a corpus/fuzz input into an argv vector: newline-separated
+/// tokens, lossy UTF-8, trailing empty line dropped (text editors add
+/// one to committed corpus files).
+pub fn decode_argv(input: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(input);
+    let mut tokens: Vec<String> = text.split('\n').map(str::to_string).collect();
+    if tokens.last().is_some_and(String::is_empty) {
+        tokens.pop();
+    }
+    tokens
+}
+
+impl Target for ArgvTarget {
+    fn name(&self) -> &'static str {
+        "cli-argv"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        const SUBCOMMANDS: &[&str] = &[
+            "generate",
+            "filter",
+            "cluster",
+            "stats",
+            "compare",
+            "bench",
+            "stream",
+            "pack",
+            "inspect",
+            "verify",
+            "fuzz",
+            "help",
+            "frobnicate",
+        ];
+        const FLAGS: &[&str] = &[
+            "--preset",
+            "--scale",
+            "--in",
+            "--out",
+            "--algo",
+            "--ranks",
+            "--partition",
+            "--seed",
+            "--min-score",
+            "--min-size",
+            "--json",
+            "--centrality",
+            "--original",
+            "--filtered",
+            "--repeats",
+            "--baseline",
+            "--threshold",
+            "--wall",
+            "--samples",
+            "--batch",
+            "--min-rho",
+            "--replay-out",
+            "--expect-checksum",
+            "--summary",
+            "--checkpoint",
+            "--resume",
+            "--windows",
+            "--kind",
+            "--target",
+            "--iters",
+            "--corpus",
+            "--minimize",
+            "--",
+            "---x",
+            "--=",
+            "--in=x.tsv",
+        ];
+        const VALUES: &[&str] = &[
+            "0",
+            "1",
+            "8",
+            "-1",
+            "0.5",
+            "1e999",
+            "18446744073709551616",
+            "yng",
+            "cre",
+            "chordal-seq",
+            "block",
+            "x.tsv",
+            "out.csbn",
+            "all",
+            "edge-list",
+            "",
+            " ",
+            "véctor",
+            "nan",
+        ];
+        let mut tokens: Vec<String> = Vec::new();
+        if rng.chance(5, 6) {
+            tokens.push(rng.pick(SUBCOMMANDS).to_string());
+        }
+        for _ in 0..rng.below(10) {
+            if rng.chance(2, 3) {
+                tokens.push(rng.pick(FLAGS).to_string());
+            } else {
+                tokens.push(rng.pick(VALUES).to_string());
+            }
+        }
+        let mut bytes = tokens.join("\n").into_bytes();
+        if rng.chance(1, 3) {
+            let rounds = rng.range(1, 6);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        let argv = decode_argv(input);
+        match (self.check)(&argv) {
+            Ok(()) => Ok(Outcome::Accepted),
+            Err(msg) => {
+                if msg.is_empty() {
+                    return Err("argv rejection with an empty diagnostic".into());
+                }
+                Ok(Outcome::Rejected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_check(_: &[String]) -> Result<(), String> {
+        Ok(())
+    }
+
+    #[test]
+    fn registry_names_are_stable() {
+        let names: Vec<&str> = all_targets(no_check).iter().map(|t| t.name()).collect();
+        assert_eq!(names, TARGET_NAMES.to_vec());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (a, b) in builtin_targets()
+            .iter_mut()
+            .zip(builtin_targets().iter_mut())
+        {
+            let mut r1 = FuzzRng::for_iteration(11, a.name(), 5);
+            let mut r2 = FuzzRng::for_iteration(11, b.name(), 5);
+            assert_eq!(a.generate(&mut r1), b.generate(&mut r2), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn valid_inputs_are_accepted_with_oracles_held() {
+        let mut rng = FuzzRng::for_iteration(0, "unit", 0);
+        // a well-formed edge list
+        let mut t = EdgeListTarget;
+        assert_eq!(t.run(b"0 1\n1 2 0.5\n# c\n").unwrap(), Outcome::Accepted);
+        assert_eq!(t.run(b"not an edge\n").unwrap(), Outcome::Rejected);
+        // a well-formed replay
+        let mut t = ReplayTarget;
+        assert_eq!(t.run(b"1 2 3\n4 5 6\n").unwrap(), Outcome::Accepted);
+        assert_eq!(t.run(b"1 2\n3\n").unwrap(), Outcome::Rejected);
+        // a well-formed container
+        let mut w = StoreWriter::new();
+        CsbnTarget::valid_section(&mut w, &mut rng);
+        let mut t = CsbnTarget;
+        assert_eq!(t.run(&w.to_bytes()).unwrap(), Outcome::Accepted);
+        assert_eq!(t.run(b"plain text").unwrap(), Outcome::Rejected);
+    }
+
+    #[test]
+    fn pristine_checkpoints_replay_to_the_reference_checksum() {
+        let mut t = CheckpointTarget::new();
+        let pristine = t.pristine.clone();
+        for ck in &pristine {
+            assert_eq!(t.run(ck).unwrap(), Outcome::Accepted);
+        }
+        // truncated checkpoint: typed rejection
+        let cut = &pristine[0][..pristine[0].len() - 3];
+        assert_eq!(t.run(cut).unwrap(), Outcome::Rejected);
+    }
+
+    #[test]
+    fn argv_decode_drops_only_the_trailing_newline() {
+        assert_eq!(decode_argv(b"a\nb\n"), vec!["a", "b"]);
+        assert_eq!(decode_argv(b"a\n\nb"), vec!["a", "", "b"]);
+        assert_eq!(decode_argv(b""), Vec::<String>::new());
+    }
+}

@@ -12,7 +12,7 @@
 //! the overlay: [`DeltaGraph::snapshot`] materialises a plain [`Graph`]
 //! view of the current state.
 
-use crate::graph::{Csr, Edge, Graph, VertexId};
+use crate::graph::{Csr, Edge, Graph, InvariantViolation, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// One batch of edge changes, canonical `(min, max)` edges.
@@ -369,10 +369,12 @@ impl DeltaGraph {
         del: Vec<Vec<VertexId>>,
         epoch: u64,
         threshold: usize,
-    ) -> Result<DeltaGraph, &'static str> {
+    ) -> Result<DeltaGraph, InvariantViolation> {
         let n = base.n();
         if add.len() != n || del.len() != n {
-            return Err("overlay vertex count differs from the base graph");
+            return Err(InvariantViolation(
+                "overlay vertex count differs from the base graph",
+            ));
         }
         let mut overlay_entries = 0usize;
         for (lists, other, in_base) in [(&add, &del, false), (&del, &add, true)] {
@@ -380,27 +382,29 @@ impl DeltaGraph {
                 let list = &lists[v as usize];
                 overlay_entries += list.len();
                 if list.windows(2).any(|w| w[0] >= w[1]) {
-                    return Err("overlay lists must be sorted and duplicate-free");
+                    return Err(InvariantViolation(
+                        "overlay lists must be sorted and duplicate-free",
+                    ));
                 }
                 for &w in list {
                     if w as usize >= n {
-                        return Err("overlay neighbour id out of range");
+                        return Err(InvariantViolation("overlay neighbour id out of range"));
                     }
                     if w == v {
-                        return Err("overlay self-loop");
+                        return Err(InvariantViolation("overlay self-loop"));
                     }
                     if lists[w as usize].binary_search(&v).is_err() {
-                        return Err("overlay lists not symmetric");
+                        return Err(InvariantViolation("overlay lists not symmetric"));
                     }
                     if base.neighbors(v).binary_search(&w).is_ok() != in_base {
-                        return Err(if in_base {
+                        return Err(InvariantViolation(if in_base {
                             "remove overlay entry missing from the base graph"
                         } else {
                             "insert overlay entry already in the base graph"
-                        });
+                        }));
                     }
                     if other[v as usize].binary_search(&w).is_ok() {
-                        return Err("edge present in both overlays");
+                        return Err(InvariantViolation("edge present in both overlays"));
                     }
                 }
             }

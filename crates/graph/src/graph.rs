@@ -332,6 +332,27 @@ pub struct Csr {
     adjncy: Vec<VertexId>,
 }
 
+/// A structural invariant violated by data handed to a fallible graph
+/// assembler ([`Csr::try_from_parts`], delta-graph overlay restoration)
+/// — the typed form of "this checksum-clean payload is still not a
+/// valid graph".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvariantViolation(pub &'static str);
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+impl From<InvariantViolation> for String {
+    fn from(e: InvariantViolation) -> String {
+        e.to_string()
+    }
+}
+
 impl Csr {
     /// Reset to an edgeless CSR over `n` vertices, retaining the backing
     /// buffers (the delta-graph `clear` relies on this for allocation-free
@@ -367,27 +388,34 @@ impl Csr {
     /// backing arrays directly, with no per-edge parsing). Rejects
     /// non-monotone offsets, out-of-range neighbours, unsorted or
     /// duplicated adjacency lists, self-loops and asymmetric edges.
-    pub fn try_from_parts(xadj: Vec<u32>, adjncy: Vec<VertexId>) -> Result<Csr, &'static str> {
+    pub fn try_from_parts(
+        xadj: Vec<u32>,
+        adjncy: Vec<VertexId>,
+    ) -> Result<Csr, InvariantViolation> {
         if xadj.is_empty() || xadj[0] != 0 {
-            return Err("offset array must start at 0");
+            return Err(InvariantViolation("offset array must start at 0"));
         }
         if *xadj.last().unwrap() as usize != adjncy.len() {
-            return Err("offset array does not cover the adjacency array");
+            return Err(InvariantViolation(
+                "offset array does not cover the adjacency array",
+            ));
         }
         if xadj.windows(2).any(|w| w[0] > w[1]) {
-            return Err("offsets must be non-decreasing");
+            return Err(InvariantViolation("offsets must be non-decreasing"));
         }
         let n = xadj.len() - 1;
         for v in 0..n {
             let list = &adjncy[xadj[v] as usize..xadj[v + 1] as usize];
             if list.windows(2).any(|w| w[0] >= w[1]) {
-                return Err("adjacency lists must be sorted and duplicate-free");
+                return Err(InvariantViolation(
+                    "adjacency lists must be sorted and duplicate-free",
+                ));
             }
             if list.iter().any(|&w| w as usize >= n) {
-                return Err("neighbour id out of range");
+                return Err(InvariantViolation("neighbour id out of range"));
             }
             if list.binary_search(&(v as VertexId)).is_ok() {
-                return Err("self-loop in adjacency list");
+                return Err(InvariantViolation("self-loop in adjacency list"));
             }
         }
         // symmetry in O(n + m): scanning sources ascending, the entries
@@ -399,7 +427,7 @@ impl Csr {
             for &w in &adjncy[xadj[v] as usize..xadj[v + 1] as usize] {
                 let c = cursor[w as usize];
                 if c >= xadj[w as usize + 1] || adjncy[c as usize] != v as VertexId {
-                    return Err("adjacency lists not symmetric");
+                    return Err(InvariantViolation("adjacency lists not symmetric"));
                 }
                 cursor[w as usize] = c + 1;
             }

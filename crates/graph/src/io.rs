@@ -13,6 +13,19 @@ pub enum IoError {
     Io(std::io::Error),
     /// A line that is not `u v [w]` (1-based line number, content).
     Parse(usize, String),
+    /// The vertex ids are absurdly sparse for the number of edges: the
+    /// implied vertex count would allocate far beyond anything the edge
+    /// list itself justifies (a 14-byte file must not commit gigabytes
+    /// of adjacency lists). Renumber the ids densely, or pass a
+    /// `min_vertices` that covers the id space on purpose.
+    SparseIds {
+        /// Vertex count the largest id implies.
+        implied: usize,
+        /// Edges actually present.
+        edges: usize,
+        /// Largest vertex count this input's size justifies.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -20,6 +33,16 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse(line, s) => write!(f, "line {line}: cannot parse {s:?}"),
+            IoError::SparseIds {
+                implied,
+                edges,
+                limit,
+            } => write!(
+                f,
+                "vertex ids imply {implied} vertices but the list has only \
+                 {edges} edge(s) (limit {limit}); renumber ids densely or \
+                 raise min_vertices explicitly"
+            ),
         }
     }
 }
@@ -72,7 +95,21 @@ pub fn read_edge_list<R: Read>(
         max_id = Some(max_id.unwrap_or(0).max(u as u64).max(v as u64));
         edges.push(((u.min(v), u.max(v)), w));
     }
-    let n = (max_id.map_or(0, |m| m + 1) as usize).max(min_vertices);
+    let implied = max_id.map_or(0, |m| m + 1) as usize;
+    // allocation guard: the vertex count a file may imply is bounded by
+    // what its own edge count justifies (generously: 256 vertices per
+    // edge plus slack), so a few bytes of text can never commit
+    // gigabytes of adjacency lists. Callers that *mean* a sparse id
+    // space opt in through `min_vertices`.
+    let limit = min_vertices.max(1024 + 256 * edges.len());
+    if implied > limit {
+        return Err(IoError::SparseIds {
+            implied,
+            edges: edges.len(),
+            limit,
+        });
+    }
+    let n = implied.max(min_vertices);
     let bare: Vec<(VertexId, VertexId)> = edges.iter().map(|&(e, _)| e).collect();
     Ok((Graph::from_edges(n, &bare), edges))
 }
@@ -247,6 +284,48 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "got {msg:?}");
         assert!(msg.contains("bad line"), "got {msg:?}");
+    }
+
+    #[test]
+    fn sparse_id_bomb_is_rejected_not_allocated() {
+        // minimized fuzz crasher: one 14-byte line implying 2^32 vertices
+        let err = read_edge_list("0 4294967295\n".as_bytes(), 0).unwrap_err();
+        match &err {
+            IoError::SparseIds {
+                implied,
+                edges,
+                limit,
+            } => {
+                assert_eq!(*implied, 1 << 32);
+                assert_eq!(*edges, 1);
+                assert_eq!(*limit, 1024 + 256);
+            }
+            other => panic!("expected SparseIds, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("4294967296"), "got {msg:?}");
+        assert!(msg.contains("min_vertices"), "got {msg:?}");
+    }
+
+    #[test]
+    fn min_vertices_opts_into_a_sparse_id_space() {
+        // a caller who *declares* the id space may use sparse ids
+        let (g, _) = read_edge_list("0 500000\n".as_bytes(), 500_001).unwrap();
+        assert_eq!(g.n(), 500_001);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn dense_graphs_never_trip_the_sparse_guard() {
+        // the generous 256-vertices-per-edge slack keeps every remotely
+        // sensible graph far from the limit, including trees and rings
+        let mut text = String::new();
+        for v in 1..4000u32 {
+            text.push_str(&format!("{} {}\n", v - 1, v));
+        }
+        let (g, _) = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 4000);
+        assert_eq!(g.m(), 3999);
     }
 
     #[test]

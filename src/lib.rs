@@ -21,6 +21,9 @@
 //! * [`store`] — the `.csbn` versioned binary artifact container:
 //!   zero-copy graph/matrix/cluster sections and stream checkpoints
 //!   (codecs live in `graph::store`, `expr::store`, `mcode::store`).
+//! * [`fuzz`] — deterministic structure-aware fuzzing and
+//!   differential-oracle harness over every input surface (driven by
+//!   the `casbn fuzz` subcommand and the CI fuzz-smoke job).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use casbn_chordal as chordal;
 pub use casbn_core as sampling;
 pub use casbn_distsim as distsim;
 pub use casbn_expr as expr;
+pub use casbn_fuzz as fuzz;
 pub use casbn_graph as graph;
 pub use casbn_mcode as mcode;
 pub use casbn_ontology as ontology;
