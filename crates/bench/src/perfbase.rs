@@ -231,6 +231,7 @@ fn mcode_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
 /// | `mcode-yng` | steady-state MCODE clustering of the YNG network (scratch-threaded) |
 /// | `mcode-cre` | same on the larger CRE network |
 /// | `store-load-yng` | parse + zero-copy CSR reconstruction of the YNG network from an in-memory `.csbn` container |
+/// | `store-open-lazy-yng` | lazy `.csbn` open of the same container: header + table validation only, payload checksums deferred |
 /// | `nocomm-yng-p1` | no-comm parallel chordal filter, 1 rank |
 /// | `nocomm-yng-p4` | no-comm parallel chordal filter, 4 ranks |
 /// | `nocomm-yng-p8` | no-comm parallel chordal filter, 8 ranks |
@@ -289,6 +290,28 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: loaded_edges as u64,
+    });
+
+    // Lazy-open workload: the same container opened through the
+    // deferred-checksum tier — the timed region is `Store::open_lazy`
+    // alone (magic/version/header-checksum/table validation, O(header +
+    // table) regardless of payload size). Its checksum XOR-folds the
+    // recorded section checksums straight out of the table, which the
+    // lazy open reads without touching a payload byte; the ≥10× open-
+    // time win over `store-load-yng` is pinned by the
+    // store_open_lazy_ratio test.
+    let (wall, table_fold) = timed(repeats, || {
+        let store = Store::open_lazy(&store_bytes).expect("freshly written container opens");
+        store
+            .sections()
+            .iter()
+            .fold(0u64, |acc, e| acc ^ e.checksum)
+    });
+    results.push(WorkloadResult {
+        name: "store-open-lazy-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: table_fold,
     });
 
     // Filter + clustering workloads run on the YNG network, with the
@@ -555,6 +578,7 @@ mod tests {
             "pearson-yng",
             "pearson-cre",
             "store-load-yng",
+            "store-open-lazy-yng",
             "dsw-yng",
             "dsw-cre",
             "mcode-yng",

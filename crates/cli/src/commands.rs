@@ -81,6 +81,7 @@ FLAGS:
                matches N — the CI streaming smoke gate
   --checkpoint `stream`: write a resumable .csbn checkpoint of the
                accumulators/network/chordal state to FILE after the run
+               (appended in place when FILE is already a container)
   --resume     `stream`: restore state from a checkpoint FILE and
                continue the replay exactly where it stopped
   --windows    `stream`: ingest at most N windows this run (pair with
@@ -88,7 +89,8 @@ FLAGS:
   --kind       what `pack` reads from --in: graph (edge list), replay
                (sample-major matrix), clusters (cluster --json output)
   --target     `fuzz` input surface: edge-list | replay | csbn |
-               checkpoint-resume | cli-argv | all (default all)
+               csbn-lazy | csbn-append | checkpoint-resume | cli-argv |
+               all (default all)
   --iters      `fuzz` iterations per target (default 1000)
   --corpus     `fuzz` corpus directory: DIR/<target>/ files replay as a
                regression suite, and new crashers are written back there
@@ -182,7 +184,10 @@ FLAGS:
   --replay-out write the synthesized replay to FILE and continue
   --expect-checksum
                exit 1 unless the deterministic checksum matches N
-  --checkpoint write a resumable .csbn checkpoint to FILE after the run
+  --checkpoint write a resumable .csbn checkpoint to FILE after the run;
+               if FILE already holds a .csbn container the new state is
+               appended under a superseding table (earlier generations
+               stay recoverable by truncating the file)
   --resume     restore state from a checkpoint FILE and continue (the
                batch size and thresholds come from the checkpoint, so
                --batch/--min-rho/--min-score are rejected here)
@@ -210,8 +215,9 @@ USAGE:
              [--minimize FILE]
 
 FLAGS:
-  --target     one of edge-list | replay | csbn | checkpoint-resume |
-               cli-argv, or all (default all)
+  --target     one of edge-list | replay | csbn | csbn-lazy |
+               csbn-append | checkpoint-resume | cli-argv, or all
+               (default all)
   --iters      fuzzing iterations per target (default 1000)
   --seed       campaign seed; equal seeds give identical iteration
                traces (default 0)
@@ -241,7 +247,10 @@ fn fail(msg: &str) -> i32 {
 fn load_with(path: &str, on_container: impl FnOnce(&Store<'_>, usize)) -> Result<Graph, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
     if is_store_bytes(&bytes) {
-        let store = Store::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        // lazy open: the header/table validate up front in O(header),
+        // and only the sections actually decoded get checksummed — a
+        // corrupt graph payload still fails typed on first access
+        let store = Store::open_lazy(&bytes).map_err(|e| format!("{path}: {e}"))?;
         on_container(&store, bytes.len());
         graph_store::load_first_graph(&store).map_err(|e| format!("{path}: {e}"))
     } else {
@@ -389,6 +398,21 @@ fn print_container_metadata(store: &Store<'_>, file_len: usize) {
         store.creator(),
         file_len
     );
+    if store.is_appended() {
+        println!(
+            "layout          appended (generation {})",
+            store.generation()
+        );
+    } else {
+        println!("layout          base");
+    }
+    if store.is_lazy() {
+        println!(
+            "payloads        {} of {} verified (lazy open; `casbn verify` sweeps all)",
+            store.sections_verified(),
+            store.sections().len()
+        );
+    }
     println!("sections        {}", store.sections().len());
     for (i, s) in store.sections().iter().enumerate() {
         println!(
@@ -649,7 +673,10 @@ pub fn stream(argv: &[String]) -> i32 {
                 if !is_store_bytes(&ckbytes) {
                     return Err(format!("{ckpath} is not a .csbn checkpoint"));
                 }
-                let store = Store::parse(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?;
+                // lazy open: resume touches every section it reads, so
+                // corruption still fails typed, without an up-front
+                // sweep over superseded generations
+                let store = Store::open_lazy(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?;
                 let d = StreamDriver::resume_from(&store).map_err(|e| format!("{ckpath}: {e}"))?;
                 if d.genes() != matrix.genes() {
                     return Err(format!(
@@ -705,11 +732,24 @@ pub fn stream(argv: &[String]) -> i32 {
             ran += 1;
         }
         if let Some(path) = args.get("checkpoint") {
-            std::fs::write(path, driver.checkpoint_bytes())
-                .map_err(|e| format!("write {path}: {e}"))?;
+            // when the target already holds a .csbn container the new
+            // state is appended under a superseding table (earlier
+            // generations stay recoverable by truncation); anything
+            // else is (over)written as a fresh base-layout container
+            let existing = std::fs::read(path).ok().filter(|b| is_store_bytes(b));
+            let bytes = match &existing {
+                Some(base) => driver
+                    .checkpoint_append_to(base)
+                    .map_err(|e| format!("append checkpoint {path}: {e}"))?,
+                None => driver
+                    .checkpoint_bytes()
+                    .map_err(|e| format!("checkpoint: {e}"))?,
+            };
+            std::fs::write(path, bytes).map_err(|e| format!("write {path}: {e}"))?;
             eprintln!(
-                "wrote checkpoint {path} ({} samples ingested)",
-                driver.samples_ingested()
+                "wrote checkpoint {path} ({} samples ingested{})",
+                driver.samples_ingested(),
+                if existing.is_some() { ", appended" } else { "" }
             );
         }
         let chordal = driver.chordal().clone();
@@ -840,7 +880,9 @@ pub fn pack(argv: &[String]) -> i32 {
 }
 
 /// `casbn inspect` — print a container's header and section table.
-/// Exit codes: 0 ok, 1 corrupt container, 2 usage error.
+/// Opens lazily, so the cost is O(header + table) regardless of payload
+/// size; payload checksums are deferred (`casbn verify` sweeps them).
+/// Exit codes: 0 ok, 1 structurally corrupt container, 2 usage error.
 pub fn inspect(argv: &[String]) -> i32 {
     container_report(argv, true)
 }
@@ -852,8 +894,9 @@ pub fn verify(argv: &[String]) -> i32 {
     container_report(argv, false)
 }
 
-/// Shared body of `inspect`/`verify`: [`Store::parse`] already performs
-/// the full validation sweep, so the two differ only in what they print.
+/// Shared body of `inspect`/`verify`. `verify` runs the eager
+/// [`Store::parse`] (full checksum sweep); `inspect` uses
+/// [`Store::open_lazy`] so printing the table stays O(header + table).
 fn container_report(argv: &[String], table: bool) -> i32 {
     let mut corrupt = false;
     let mut run = || -> Result<(), String> {
@@ -861,7 +904,12 @@ fn container_report(argv: &[String], table: bool) -> i32 {
         args.reject_unknown(&["in"], &[])?;
         let path = args.require("in")?;
         let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
-        match Store::parse(&bytes) {
+        let opened = if table {
+            Store::open_lazy(&bytes)
+        } else {
+            Store::parse(&bytes)
+        };
+        match opened {
             Ok(store) => {
                 if table {
                     print_container_metadata(&store, bytes.len());

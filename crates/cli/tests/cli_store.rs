@@ -344,3 +344,98 @@ fn stream_checkpoint_resume_reproduces_the_uninterrupted_checksum() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("genes"), "{}", stderr(&out));
 }
+
+#[test]
+fn checkpoint_into_an_existing_container_appends_a_generation() {
+    // suspend after 2 windows into a fresh checkpoint, then resume and
+    // suspend again into the SAME file: the second write appends a
+    // superseding generation instead of rewriting, and the appended
+    // container resumes to the uninterrupted run's checksum
+    let preset = [
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--batch",
+        "2",
+    ];
+    let full = casbn(&[&["stream"], &preset[..]].concat());
+    assert_eq!(full.status.code(), Some(0), "{}", stderr(&full));
+    let checksum = stdout(&full)
+        .lines()
+        .find(|l| l.starts_with("checksum "))
+        .expect("summary prints a checksum")
+        .trim_start_matches("checksum ")
+        .to_string();
+
+    let ck = tmp("a.ck.csbn");
+    let _ = std::fs::remove_file(&ck);
+    let out = casbn(
+        &[
+            &["stream"],
+            &preset[..],
+            &["--windows", "2", "--checkpoint", ck.as_str()],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let base_len = std::fs::metadata(&ck).unwrap().len();
+
+    // resume one more window, appending into the same file
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--resume",
+        &ck,
+        "--windows",
+        "1",
+        "--checkpoint",
+        &ck,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("appended"), "{}", stderr(&out));
+    assert!(
+        std::fs::metadata(&ck).unwrap().len() > base_len,
+        "append must grow the file"
+    );
+
+    // inspect reports the appended layout and lazy open
+    let out = casbn(&["inspect", "--in", &ck]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("appended (generation 1)"), "{text}");
+    assert!(text.contains("lazy open"), "{text}");
+
+    // verify still sweeps every checksum of the appended layout
+    let out = casbn(&["verify", "--in", &ck]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // and the appended checkpoint resumes to the pinned checksum
+    let out = casbn(&[
+        "stream",
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--resume",
+        &ck,
+        "--expect-checksum",
+        &checksum,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "appended resume diverged: {}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+}

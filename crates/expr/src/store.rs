@@ -33,7 +33,7 @@ pub fn load_matrix(store: &Store<'_>, tag: u32) -> Result<ExpressionMatrix, Stor
     let idx = store
         .find(SectionKind::Matrix, tag)
         .ok_or(StoreError::MissingSection("matrix"))?;
-    matrix_from_payload(store.payload(idx))
+    matrix_from_payload(store.payload_checked(idx)?)
 }
 
 /// Load the first matrix section (any tag) — the CLI's auto-detection

@@ -61,17 +61,19 @@ pub trait Target {
 /// `Err` is the parser's typed rejection.
 pub type ArgvCheck = fn(&[String]) -> Result<(), String>;
 
-/// The four targets that need no injection.
+/// The six targets that need no injection.
 pub fn builtin_targets() -> Vec<Box<dyn Target>> {
     vec![
         Box::new(EdgeListTarget),
         Box::new(ReplayTarget),
         Box::new(CsbnTarget),
+        Box::new(LazyOpenTarget),
+        Box::new(AppendTarget),
         Box::new(CheckpointTarget::new()),
     ]
 }
 
-/// All five targets, with the CLI argv surface wired to `check`.
+/// All seven targets, with the CLI argv surface wired to `check`.
 pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
     let mut ts = builtin_targets();
     ts.push(Box::new(ArgvTarget { check }));
@@ -79,10 +81,12 @@ pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
 }
 
 /// Registry names in canonical order.
-pub const TARGET_NAMES: [&str; 5] = [
+pub const TARGET_NAMES: [&str; 7] = [
     "edge-list",
     "replay",
     "csbn",
+    "csbn-lazy",
+    "csbn-append",
     "checkpoint-resume",
     "cli-argv",
 ];
@@ -326,7 +330,8 @@ impl CsbnTarget {
                 delta.inserts.sort_unstable();
                 delta.inserts.dedup();
                 d.apply(&delta);
-                graph_store::add_delta_graph(w, rng.below(3) as u32, &d);
+                graph_store::add_delta_graph(w, rng.below(3) as u32, &d)
+                    .expect("generated overlays stay far below the u32 offset ceiling");
             }
         }
     }
@@ -393,7 +398,11 @@ impl CsbnTarget {
                 }
                 Ok(d) => {
                     let mut w = StoreWriter::new();
-                    graph_store::add_delta_graph(&mut w, tag, &d);
+                    if graph_store::add_delta_graph(&mut w, tag, &d).is_err() {
+                        // a decoded overlay too large to re-encode is a
+                        // rejection, not an oracle violation
+                        return Ok(Outcome::Rejected);
+                    }
                     Self::sole_payload(&w)
                 }
             },
@@ -494,6 +503,220 @@ impl Target for CsbnTarget {
     }
 }
 
+// ---------------------------------------------------------------- csbn-lazy
+
+/// The lazy read tier (`Store::open_lazy`) fuzzed differentially against
+/// the eager parse. The invariants:
+///
+/// 1. both tiers agree on structural corruption — same typed error at
+///    open time;
+/// 2. payload corruption the eager sweep pins to section `i` leaves the
+///    lazy open succeeding, every section before `i` verifying clean,
+///    and the first *touch* of `i` failing with the same typed
+///    `ChecksumMismatch` — deferred validation must never turn a
+///    detected corruption into a silently different answer;
+/// 3. a clean container verifies identically through both tiers.
+struct LazyOpenTarget;
+
+impl Target for LazyOpenTarget {
+    fn name(&self) -> &'static str {
+        "csbn-lazy"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        let mut w = StoreWriter::new();
+        for _ in 0..rng.range(1, 4) {
+            CsbnTarget::valid_section(&mut w, rng);
+        }
+        let mut bytes = w.to_bytes();
+        if rng.chance(1, 3) {
+            // sometimes grow the container so the lazy tier is also
+            // exercised over the appended (footer + superseding table)
+            // layout
+            let mut a = StoreWriter::new();
+            if rng.chance(1, 2) {
+                CsbnTarget::valid_section(&mut a, rng);
+            }
+            bytes = a.append_to(&bytes).expect("append to a fresh container");
+        }
+        match rng.below(4) {
+            // clean: both tiers must accept and agree
+            0 => {}
+            // surgical single-bit payload flip: reaches the deferred
+            // checksum layer with the structure intact
+            1 => {
+                let (off, len) = {
+                    let store = Store::parse(&bytes).expect("generated container parses");
+                    let s = store.sections();
+                    let e = &s[rng.below(s.len())];
+                    (e.offset, e.len)
+                };
+                let bit = rng.below(len * 8);
+                bytes[off + bit / 8] ^= 1 << (bit % 8);
+            }
+            // generic byte mutators: header/table/framing attacks
+            _ => {
+                let rounds = rng.range(1, 8);
+                mutate(&mut bytes, rng, rounds);
+            }
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        use casbn_store::StoreError;
+        match (Store::parse(input), Store::open_lazy(input)) {
+            (Ok(eager), Ok(lazy)) => {
+                if eager.sections().len() != lazy.sections().len() {
+                    return Err("eager and lazy opens disagree on the section count".into());
+                }
+                for i in 0..lazy.sections().len() {
+                    let (a, b) = (&eager.sections()[i], &lazy.sections()[i]);
+                    if (a.kind, a.tag, a.offset, a.len, a.checksum)
+                        != (b.kind, b.tag, b.offset, b.len, b.checksum)
+                    {
+                        return Err(format!("section {i} table entries differ between tiers"));
+                    }
+                    let bytes = lazy.payload_checked(i).map_err(|e| {
+                        format!("eager-clean section {i} failed lazy verification: {e}")
+                    })?;
+                    if bytes != eager.payload(i) {
+                        return Err(format!("section {i} payload bytes differ between tiers"));
+                    }
+                }
+                if lazy.sections_verified() != lazy.sections().len() {
+                    return Err("touch-all left sections unverified".into());
+                }
+                Ok(Outcome::Accepted)
+            }
+            (
+                Err(StoreError::ChecksumMismatch {
+                    section: Some(i), ..
+                }),
+                Ok(lazy),
+            ) => {
+                // payload corruption: the lazy open is O(header) and
+                // must defer exactly this failure to the first touch
+                for j in 0..i {
+                    lazy.payload_checked(j).map_err(|e| {
+                        format!("section {j} precedes corrupt section {i} but failed: {e}")
+                    })?;
+                }
+                match lazy.payload_checked(i) {
+                    Err(StoreError::ChecksumMismatch {
+                        section: Some(s), ..
+                    }) if s == i => Ok(Outcome::Rejected),
+                    Err(other) => Err(format!(
+                        "lazy touch of corrupt section {i} failed with the wrong error: {other}"
+                    )),
+                    Ok(_) => Err(format!("lazy touch of corrupt section {i} verified clean")),
+                }
+            }
+            (Err(ee), Err(le)) => {
+                let (a, b) = (ee.to_string(), le.to_string());
+                if a.is_empty() || b.is_empty() {
+                    return Err("store error with empty Display".into());
+                }
+                // the eager sweep interleaves payload checksums with the
+                // structural walk, so a doubly-corrupt container may pin
+                // a payload mismatch where the lazy tier (which skips
+                // checksums) reports a later structural fault; any other
+                // eager error comes from the shared structural code and
+                // must match the lazy tier's exactly
+                if !matches!(
+                    ee,
+                    StoreError::ChecksumMismatch {
+                        section: Some(_),
+                        ..
+                    }
+                ) && a != b
+                {
+                    return Err(format!(
+                        "eager and lazy opens rejected differently: {a:?} vs {b:?}"
+                    ));
+                }
+                Ok(Outcome::Rejected)
+            }
+            (Err(e), Ok(_)) => Err(format!(
+                "eager open failed structurally ({e}) but the lazy open succeeded"
+            )),
+            (Ok(_), Err(e)) => Err(format!(
+                "lazy open failed ({e}) where the eager parse succeeded"
+            )),
+        }
+    }
+}
+
+// -------------------------------------------------------------- csbn-append
+
+/// Appended-container parsing (`StoreWriter::append_to` + the footer /
+/// superseding-table read path). The oracle: any container the parser
+/// accepts must survive an empty re-append — generation advanced by
+/// exactly one, layout flipped to appended, and every live section's
+/// kind/tag/payload byte-identical through the new table.
+struct AppendTarget;
+
+impl Target for AppendTarget {
+    fn name(&self) -> &'static str {
+        "csbn-append"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        let mut w = StoreWriter::new();
+        for _ in 0..rng.range(1, 3) {
+            CsbnTarget::valid_section(&mut w, rng);
+        }
+        let mut bytes = w.to_bytes();
+        for _ in 0..rng.range(1, 3) {
+            let mut a = StoreWriter::new();
+            for _ in 0..rng.below(3) {
+                CsbnTarget::valid_section(&mut a, rng);
+            }
+            bytes = a.append_to(&bytes).expect("append to a valid container");
+        }
+        if rng.chance(2, 3) {
+            let rounds = rng.range(1, 10);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        let store = match Store::parse(input) {
+            Err(e) => {
+                if e.to_string().is_empty() {
+                    return Err("store error with empty Display".into());
+                }
+                return Ok(Outcome::Rejected);
+            }
+            Ok(s) => s,
+        };
+        let grown = StoreWriter::new()
+            .append_to(input)
+            .map_err(|e| format!("accepted container refused an empty append: {e}"))?;
+        let re =
+            Store::parse(&grown).map_err(|e| format!("appended output failed to re-parse: {e}"))?;
+        if !re.is_appended() || re.generation() != store.generation() + 1 {
+            return Err(format!(
+                "empty append went generation {} -> {} (appended: {})",
+                store.generation(),
+                re.generation(),
+                re.is_appended()
+            ));
+        }
+        if re.sections().len() != store.sections().len() {
+            return Err("empty append changed the section count".into());
+        }
+        for i in 0..store.sections().len() {
+            let (a, b) = (&store.sections()[i], &re.sections()[i]);
+            if (a.kind, a.tag) != (b.kind, b.tag) || store.payload(i) != re.payload(i) {
+                return Err(format!("empty append changed section {i}"));
+            }
+        }
+        Ok(Outcome::Accepted)
+    }
+}
+
 // -------------------------------------------------------- checkpoint-resume
 
 /// Stream checkpoint containers (`StreamDriver::resume_from`) — the
@@ -529,7 +752,9 @@ impl CheckpointTarget {
             driver.ingest_window(&matrix.columns(lo, hi));
             lo = hi;
             if lo < matrix.samples() {
-                pristine.push(Self::canonicalize(&driver.checkpoint_bytes()));
+                pristine.push(Self::canonicalize(
+                    &driver.checkpoint_bytes().expect("checkpoint serialises"),
+                ));
             }
         }
         CheckpointTarget {

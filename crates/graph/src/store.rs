@@ -28,8 +28,9 @@ pub fn add_csr(w: &mut StoreWriter, tag: u32, c: &Csr) {
     w.add(SectionKind::Graph, tag, e.into_payload());
 }
 
-/// Decode a graph-section payload into a [`Csr`].
-pub fn csr_from_payload(payload: &[u8]) -> Result<Csr, StoreError> {
+/// Decode a graph-section payload into an owned [`Csr`] (both arrays
+/// copied out of the payload).
+pub fn csr_from_payload(payload: &[u8]) -> Result<Csr<'static>, StoreError> {
     let mut d = Dec::new(payload);
     let n = d.dim()?;
     let m = d.dim()?;
@@ -45,24 +46,104 @@ pub fn csr_from_payload(payload: &[u8]) -> Result<Csr, StoreError> {
     Csr::try_from_parts(xadj, adjncy).map_err(|e| StoreError::Malformed(e.into()))
 }
 
-/// Load the graph section with this `tag` as a [`Csr`].
-pub fn load_csr(store: &Store<'_>, tag: u32) -> Result<Csr, StoreError> {
+/// Decode a graph-section payload into a **zero-copy** [`Csr`] view:
+/// on a little-endian host the `xadj`/`adjncy` arrays are the payload
+/// bytes reinterpreted in place (they sit at payload offset 16, and
+/// section payloads are 8-byte aligned, so the cast alignment always
+/// holds for a payload served by the store). The same `O(n + m)`
+/// invariant sweep as [`csr_from_payload`] runs over the borrowed
+/// slices; only the two array *copies* are skipped. On a big-endian
+/// host — or for a payload slice that is not 4-byte aligned — this
+/// falls back to the checked owned decode, so the result is
+/// bit-identical either way.
+pub fn csr_view_from_payload(payload: &[u8]) -> Result<Csr<'_>, StoreError> {
+    let mut d = Dec::new(payload);
+    let n = d.dim()?;
+    let m = d.dim()?;
+    let n1 = n
+        .checked_add(1)
+        .ok_or_else(|| StoreError::Malformed("vertex count overflows".into()))?;
+    let m2 = m
+        .checked_mul(2)
+        .ok_or_else(|| StoreError::Malformed("edge count overflows".into()))?;
+    let need = n1
+        .checked_add(m2)
+        .and_then(|words| words.checked_mul(4))
+        .ok_or_else(|| StoreError::Malformed("array extent overflows".into()))?;
+    let arrays = &payload[16..]; // the two dims consumed 16 bytes
+    if arrays.len() < need {
+        return Err(StoreError::ShortSection {
+            need,
+            have: arrays.len(),
+        });
+    }
+    if arrays.len() > need {
+        return Err(StoreError::Malformed(format!(
+            "{} trailing bytes in section payload",
+            arrays.len() - need
+        )));
+    }
+    if cfg!(target_endian = "little") {
+        // SAFETY: u32 is plain-old-data (every bit pattern valid, no
+        // padding), so reinterpreting initialised bytes as u32s is
+        // sound; align_to returns non-empty prefix/suffix when the
+        // pointer or length would misalign, and we fall back to the
+        // copying decode in that case. Value correctness (LE wire
+        // order == host order) is guarded by the cfg!.
+        let (prefix, words, suffix) = unsafe { arrays.align_to::<u32>() };
+        if prefix.is_empty() && suffix.is_empty() {
+            let (xadj, adjncy) = words.split_at(n1);
+            return Csr::try_from_borrowed(xadj, adjncy)
+                .map_err(|e| StoreError::Malformed(e.into()));
+        }
+    }
+    csr_from_payload(payload)
+}
+
+/// Load the graph section with this `tag` as an owned [`Csr`].
+pub fn load_csr(store: &Store<'_>, tag: u32) -> Result<Csr<'static>, StoreError> {
     let idx = store
         .find(SectionKind::Graph, tag)
         .ok_or(StoreError::MissingSection("graph"))?;
-    csr_from_payload(store.payload(idx))
+    csr_from_payload(store.payload_checked(idx)?)
+}
+
+/// Load the graph section with this `tag` as a zero-copy [`Csr`] view
+/// borrowing the store's buffer ([`csr_view_from_payload`]). Under
+/// [`Store::open_lazy`] this is the first-touch checksum path: the
+/// payload is verified (memoized) before the view is built.
+pub fn load_csr_view<'a>(store: &Store<'a>, tag: u32) -> Result<Csr<'a>, StoreError> {
+    let idx = store
+        .find(SectionKind::Graph, tag)
+        .ok_or(StoreError::MissingSection("graph"))?;
+    csr_view_from_payload(store.payload_checked(idx)?)
 }
 
 /// Load the first graph section (any tag) as a mutable [`Graph`] — the
 /// CLI's auto-detection path for `--in` files.
 pub fn load_first_graph(store: &Store<'_>) -> Result<Graph, StoreError> {
     let payload = store.require_kind(SectionKind::Graph)?;
-    Ok(csr_from_payload(payload)?.to_graph())
+    Ok(csr_view_from_payload(payload)?.to_graph())
+}
+
+/// Advance an overlay offset cursor by one list length, rejecting
+/// accumulations past `u32::MAX` with a typed error — the wire format
+/// stores these cursors as u32s, and a silent wrap would emit a
+/// checksum-valid but corrupt checkpoint.
+fn overlay_offset_add(off: u32, len: usize) -> Result<u32, StoreError> {
+    u32::try_from(len)
+        .ok()
+        .and_then(|l| off.checked_add(l))
+        .ok_or_else(|| {
+            StoreError::Malformed("delta-graph overlay offsets overflow the u32 wire field".into())
+        })
 }
 
 /// Append a delta graph (base CSR + overlays + counters) as a
 /// [`SectionKind::DeltaGraph`] section — part of a stream checkpoint.
-pub fn add_delta_graph(w: &mut StoreWriter, tag: u32, d: &DeltaGraph) {
+/// Fails typed (writing nothing) if an overlay is too large for the
+/// u32 offset fields of the wire format.
+pub fn add_delta_graph(w: &mut StoreWriter, tag: u32, d: &DeltaGraph) -> Result<(), StoreError> {
     let (base, add, del, m, pending, epoch, threshold) = d.raw_parts();
     let mut e = Enc::new();
     e.u64(d.n() as u64);
@@ -77,7 +158,7 @@ pub fn add_delta_graph(w: &mut StoreWriter, tag: u32, d: &DeltaGraph) {
         let mut off = 0u32;
         e.u32(off);
         for list in overlay {
-            off += list.len() as u32;
+            off = overlay_offset_add(off, list.len())?;
             e.u32(off);
         }
         for list in overlay {
@@ -85,6 +166,7 @@ pub fn add_delta_graph(w: &mut StoreWriter, tag: u32, d: &DeltaGraph) {
         }
     }
     w.add(SectionKind::DeltaGraph, tag, e.into_payload());
+    Ok(())
 }
 
 /// Decode a delta-graph section payload.
@@ -134,7 +216,7 @@ pub fn load_delta_graph(store: &Store<'_>, tag: u32) -> Result<DeltaGraph, Store
     let idx = store
         .find(SectionKind::DeltaGraph, tag)
         .ok_or(StoreError::MissingSection("delta-graph"))?;
-    delta_graph_from_payload(store.payload(idx))
+    delta_graph_from_payload(store.payload_checked(idx)?)
 }
 
 #[cfg(test)]
@@ -226,7 +308,7 @@ mod tests {
         assert!(d.pending() > 0, "test needs a live overlay");
 
         let mut w = StoreWriter::new();
-        add_delta_graph(&mut w, 0, &d);
+        add_delta_graph(&mut w, 0, &d).unwrap();
         let bytes = w.to_bytes();
         let store = Store::parse(&bytes).unwrap();
         let back = load_delta_graph(&store, 0).unwrap();
@@ -251,11 +333,108 @@ mod tests {
     }
 
     #[test]
+    fn overlay_offset_accumulation_rejects_u32_overflow() {
+        // the wire cursor is u32; crossing it must be a typed error,
+        // not a silent wrap into a checksum-valid corrupt payload
+        assert_eq!(overlay_offset_add(0, 5).unwrap(), 5);
+        assert_eq!(overlay_offset_add(u32::MAX - 3, 3).unwrap(), u32::MAX);
+        assert!(matches!(
+            overlay_offset_add(u32::MAX - 3, 4),
+            Err(StoreError::Malformed(_))
+        ));
+        assert!(matches!(
+            overlay_offset_add(0, u32::MAX as usize + 1),
+            Err(StoreError::Malformed(_))
+        ));
+        // near-the-edge accumulation stays exact
+        let mut off = 0u32;
+        for len in [1usize << 31, (1usize << 31) - 1] {
+            off = overlay_offset_add(off, len).unwrap();
+        }
+        assert_eq!(off, u32::MAX);
+        assert!(overlay_offset_add(off, 1).is_err());
+    }
+
+    #[test]
+    fn borrowed_view_is_bit_identical_to_owned_load() {
+        let g = gnm(80, 260, 11);
+        let mut w = StoreWriter::new();
+        add_graph(&mut w, 0, &g);
+        let bytes = w.to_bytes();
+        for store in [
+            Store::parse(&bytes).unwrap(),
+            Store::open_lazy(&bytes).unwrap(),
+        ] {
+            let owned = load_csr(&store, 0).unwrap();
+            let view = load_csr_view(&store, 0).unwrap();
+            assert!(view.is_borrowed() || cfg!(target_endian = "big"));
+            assert!(!owned.is_borrowed());
+            assert_eq!(view.xadj(), owned.xadj());
+            assert_eq!(view.adjncy(), owned.adjncy());
+            assert!(view.to_graph().same_edges(&g));
+            // a detached view is a plain owned CSR
+            let detached = view.into_owned();
+            assert!(!detached.is_borrowed());
+            assert_eq!(detached.adjncy(), owned.adjncy());
+        }
+    }
+
+    #[test]
+    fn view_decode_enforces_the_same_invariants_as_the_owned_decode() {
+        // malformed payloads must fail identically through both decoders
+        let mut bad = Vec::new();
+        // unsorted adjacency
+        let mut e = Enc::new();
+        e.u64(2);
+        e.u64(1);
+        e.u32s(&[0, 2, 2]);
+        e.u32s(&[1, 1]);
+        bad.push(e.into_payload());
+        // trailing bytes
+        let mut e = Enc::new();
+        e.u64(1);
+        e.u64(0);
+        e.u32s(&[0]);
+        e.u32(99);
+        bad.push(e.into_payload());
+        // truncated arrays
+        let mut e = Enc::new();
+        e.u64(1 << 40);
+        bad.push(e.into_payload());
+        for payload in &bad {
+            let owned = csr_from_payload(payload);
+            let view = csr_view_from_payload(payload);
+            assert!(owned.is_err() && view.is_err(), "both decoders must reject");
+        }
+    }
+
+    #[test]
+    fn lazy_view_of_a_corrupt_graph_section_fails_typed_on_first_touch() {
+        let g = gnm(30, 60, 3);
+        let mut w = StoreWriter::new();
+        add_graph(&mut w, 0, &g);
+        let mut bytes = w.to_bytes();
+        let off = {
+            let s = Store::open_lazy(&bytes).unwrap();
+            s.sections()[0].offset
+        };
+        bytes[off + 40] ^= 0x08; // somewhere inside the arrays
+        let s = Store::open_lazy(&bytes).unwrap();
+        assert!(matches!(
+            load_csr_view(&s, 0),
+            Err(StoreError::ChecksumMismatch {
+                section: Some(0),
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn delta_graph_counter_mismatch_is_detected() {
         let mut d = DeltaGraph::new(5);
         d.insert_edge(0, 1);
         let mut w = StoreWriter::new();
-        add_delta_graph(&mut w, 0, &d);
+        add_delta_graph(&mut w, 0, &d).unwrap();
         let store_bytes = w.to_bytes();
         let store = Store::parse(&store_bytes).unwrap();
         let mut payload = store.payload(0).to_vec();

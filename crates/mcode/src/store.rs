@@ -63,7 +63,7 @@ pub fn load_clusters(store: &Store<'_>, tag: u32) -> Result<Vec<Cluster>, StoreE
     let idx = store
         .find(SectionKind::Clusters, tag)
         .ok_or(StoreError::MissingSection("clusters"))?;
-    clusters_from_payload(store.payload(idx))
+    clusters_from_payload(store.payload_checked(idx)?)
 }
 
 #[cfg(test)]

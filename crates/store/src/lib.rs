@@ -82,6 +82,16 @@ pub const SECTION_ENTRY_LEN: usize = 32;
 /// Maximum creator-string length stored in the header.
 pub const CREATOR_LEN: usize = 16;
 
+/// The 8-byte footer magic of an *appended* container (see
+/// [`StoreWriter::append_to`]): deliberately distinct from [`MAGIC`] so
+/// a footer can never be mistaken for the start of a nested container,
+/// with the same defensive high-bit/CRLF/NUL structure.
+pub const FOOTER_MAGIC: [u8; 8] = [0x89, b'c', b's', b'b', b'n', 0x0D, 0x0A, 0x00];
+
+/// Appended-container footer length in bytes: magic, table offset,
+/// section count, generation, footer checksum (all u64-sized fields).
+pub const FOOTER_LEN: usize = 40;
+
 /// Known section kinds. The wire value is the discriminant; unknown
 /// kinds parse fine (the container is self-describing) but the typed
 /// codecs will not claim them.
@@ -157,24 +167,94 @@ pub fn is_store_bytes(bytes: &[u8]) -> bool {
 /// of one per byte, which keeps full-container validation an order of
 /// magnitude cheaper than the text parsing it replaces.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        h ^= u64::from_le_bytes(c.try_into().unwrap());
-        h = h.wrapping_mul(PRIME);
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Streaming form of [`fnv1a`]: feed any number of slices through
+/// [`Fnv1a::update`] and [`Fnv1a::finish`] yields exactly the checksum
+/// `fnv1a` computes over their concatenation, independent of how the
+/// bytes were split. Partial words are buffered across updates, so the
+/// header checksum can cover two discontiguous ranges (fixed header +
+/// section table) without copying them into a temporary buffer.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    h: u64,
+    /// Bytes of a not-yet-complete 8-byte word, little-endian order.
+    word: [u8; 8],
+    fill: usize,
+    len: u64,
+}
+
+impl Fnv1a {
+    /// Hasher over the empty byte sequence.
+    pub fn new() -> Fnv1a {
+        Fnv1a {
+            h: FNV_BASIS,
+            word: [0u8; 8],
+            fill: 0,
+            len: 0,
+        }
     }
-    let tail = chunks.remainder();
-    if !tail.is_empty() {
-        let mut word = [0u8; 8];
-        word[..tail.len()].copy_from_slice(tail);
-        h ^= u64::from_le_bytes(word);
-        h = h.wrapping_mul(PRIME);
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.h ^= word;
+        self.h = self.h.wrapping_mul(FNV_PRIME);
     }
-    // fold the length in so zero-padded tails of different lengths
-    // cannot collide
-    h ^= bytes.len() as u64;
-    h.wrapping_mul(PRIME)
+
+    /// Absorb the next slice of the logical byte sequence.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        let mut rest = bytes;
+        if self.fill > 0 {
+            let take = rest.len().min(8 - self.fill);
+            self.word[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill < 8 {
+                return;
+            }
+            let w = u64::from_le_bytes(self.word);
+            self.mix(w);
+            self.word = [0u8; 8];
+            self.fill = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().unwrap());
+            self.mix(w);
+        }
+        let tail = chunks.remainder();
+        self.word[..tail.len()].copy_from_slice(tail);
+        self.fill = tail.len();
+    }
+
+    /// The checksum of everything absorbed so far (the hasher can keep
+    /// absorbing afterwards; `finish` does not consume it).
+    pub fn finish(&self) -> u64 {
+        let mut h = self.h;
+        if self.fill > 0 {
+            // zero-extend the buffered tail into a final word, exactly
+            // as the one-shot path does
+            h ^= u64::from_le_bytes(self.word);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // fold the length in so zero-padded tails of different lengths
+        // cannot collide
+        h ^= self.len;
+        h.wrapping_mul(FNV_PRIME)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
 }
 
 /// Round `x` up to the next multiple of 8 (section payload alignment).
@@ -237,5 +317,48 @@ mod tests {
         assert_eq!(align8(1), 8);
         assert_eq!(align8(8), 8);
         assert_eq!(align8(9), 16);
+    }
+
+    #[test]
+    fn streaming_fnv_matches_one_shot_for_every_split() {
+        let data: Vec<u8> = (0u16..257).map(|x| (x * 31 % 251) as u8).collect();
+        let want = fnv1a(&data);
+        // every 2-way split
+        for cut in 0..=data.len() {
+            let mut h = Fnv1a::new();
+            h.update(&data[..cut]);
+            h.update(&data[cut..]);
+            assert_eq!(h.finish(), want, "split at {cut}");
+        }
+        // a ragged many-way split (1, 2, 3, ... byte pieces)
+        let mut h = Fnv1a::new();
+        let mut at = 0;
+        let mut step = 1;
+        while at < data.len() {
+            let end = (at + step).min(data.len());
+            h.update(&data[at..end]);
+            at = end;
+            step += 1;
+        }
+        assert_eq!(h.finish(), want);
+        // interleaved empty updates change nothing
+        let mut h = Fnv1a::new();
+        h.update(&[]);
+        h.update(&data);
+        h.update(&[]);
+        assert_eq!(h.finish(), want);
+        // finish is a checkpoint, not a terminator
+        let mut h = Fnv1a::new();
+        h.update(&data[..7]);
+        assert_eq!(h.finish(), fnv1a(&data[..7]));
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), want);
+    }
+
+    #[test]
+    fn footer_magic_is_not_the_container_magic() {
+        assert_ne!(FOOTER_MAGIC, MAGIC);
+        assert_eq!(FOOTER_MAGIC.len(), 8);
+        assert_eq!(FOOTER_LEN, 40);
     }
 }

@@ -1,10 +1,14 @@
-//! Container parsing with full up-front validation.
+//! Container parsing: full up-front validation ([`Store::parse`]) or
+//! O(header + table) opens with lazily validated payloads
+//! ([`Store::open_lazy`]), over both the base single-table layout and
+//! the appended footer layout emitted by `StoreWriter::append_to`.
 
 use crate::error::StoreError;
 use crate::{
-    align8, fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FORMAT_VERSION, HEADER_LEN, MAGIC,
-    SECTION_ENTRY_LEN,
+    align8, fnv1a, Fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FOOTER_LEN, FOOTER_MAGIC,
+    FORMAT_VERSION, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
 };
+use std::sync::OnceLock;
 
 /// One entry of the parsed section table.
 #[derive(Clone, Copy, Debug)]
@@ -21,25 +25,58 @@ pub struct SectionEntry {
     pub checksum: u64,
 }
 
-/// A parsed, fully validated view over a `.csbn` byte buffer.
+/// A parsed view over a `.csbn` byte buffer.
 ///
 /// [`Store::parse`] checks everything up front — magic, version,
 /// endianness, header checksum, section bounds and alignment, payload
 /// checksums and the zero padding between sections — so section access
-/// afterwards is infallible slicing. The view borrows the caller's
-/// buffer: loading stays a single `fs::read` plus header-sized parsing,
-/// with payload bytes consumed in place.
+/// afterwards is infallible slicing. [`Store::open_lazy`] performs the
+/// same structural validation but defers each payload's checksum to its
+/// first access through [`Store::payload_checked`], memoized per
+/// section, which makes opening O(header + table) regardless of file
+/// size. Either way the view borrows the caller's buffer: loading stays
+/// a single `fs::read` plus header-sized parsing, with payload bytes
+/// consumed in place.
+///
+/// Both constructors resolve the *latest* section table: a container
+/// grown with `StoreWriter::append_to` carries a superseding table and
+/// footer after the appended payloads, and lookups see that table only
+/// (superseded payloads become unreferenced gaps).
 #[derive(Debug)]
 pub struct Store<'a> {
     bytes: &'a [u8],
     version: u32,
     creator: String,
     entries: Vec<SectionEntry>,
+    /// 0 for a base-layout container; the footer generation otherwise.
+    generation: u64,
+    /// End of the payload region: the file length for a base container,
+    /// the superseding table's offset for an appended one. A further
+    /// append builds on `bytes[..data_end]`.
+    data_end: usize,
+    /// `Some` under [`Store::open_lazy`]: one memo slot per section
+    /// holding the payload checksum computed on first access.
+    lazy: Option<Vec<OnceLock<u64>>>,
 }
 
 impl<'a> Store<'a> {
-    /// Parse and validate a container.
+    /// Parse and validate a container, checksumming every payload up
+    /// front.
     pub fn parse(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
+        Store::parse_inner(bytes, true)
+    }
+
+    /// Open a container with O(header + table) work: magic, version,
+    /// endianness, header checksum, footer (if appended), section
+    /// bounds, alignment and padding are validated eagerly, but each
+    /// payload's FNV-1a checksum is deferred to its first access via
+    /// [`Store::payload_checked`] (memoized, so every section is
+    /// checksummed at most once).
+    pub fn open_lazy(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
+        Store::parse_inner(bytes, false)
+    }
+
+    fn parse_inner(bytes: &'a [u8], eager: bool) -> Result<Store<'a>, StoreError> {
         if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
             return Err(StoreError::BadMagic);
         }
@@ -90,12 +127,12 @@ impl<'a> Store<'a> {
         }
 
         // header checksum covers the fixed header (minus the checksum
-        // field itself) plus the whole table
+        // field itself) plus the base table, hashed in place
         let recorded = u64::from_le_bytes(bytes[HEADER_LEN - 8..HEADER_LEN].try_into().unwrap());
-        let mut hashed = Vec::with_capacity(table_end - 8);
-        hashed.extend_from_slice(&bytes[..HEADER_LEN - 8]);
-        hashed.extend_from_slice(&bytes[HEADER_LEN..table_end]);
-        let got = fnv1a(&hashed);
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..HEADER_LEN - 8]);
+        h.update(&bytes[HEADER_LEN..table_end]);
+        let got = h.finish();
         if got != recorded {
             return Err(StoreError::ChecksumMismatch {
                 section: None,
@@ -104,62 +141,50 @@ impl<'a> Store<'a> {
             });
         }
 
-        // walk the table: payloads must be contiguous, aligned,
-        // in-bounds, checksum-clean and zero-padded
+        // an appended container ends in a footer naming the superseding
+        // table; resolve it before walking any entries
+        let footer_at = bytes.len().wrapping_sub(FOOTER_LEN);
+        let appended = bytes.len() >= table_end + FOOTER_LEN
+            && bytes[footer_at..footer_at + FOOTER_MAGIC.len()] == FOOTER_MAGIC;
+
+        let mut store = if appended {
+            Store::parse_appended(bytes, version, creator, table_end, eager)?
+        } else {
+            Store::parse_base(bytes, version, creator, count, table_end, eager)?
+        };
+        if !eager {
+            store.lazy = Some((0..store.entries.len()).map(|_| OnceLock::new()).collect());
+        }
+        Ok(store)
+    }
+
+    /// Walk a base-layout table: payloads contiguous, aligned,
+    /// in-bounds, zero-padded, and (when `eager`) checksum-clean, with
+    /// no trailing bytes.
+    fn parse_base(
+        bytes: &'a [u8],
+        version: u32,
+        creator: String,
+        count: usize,
+        table_end: usize,
+        eager: bool,
+    ) -> Result<Store<'a>, StoreError> {
         let mut entries = Vec::with_capacity(count);
         let mut cursor = table_end;
         for i in 0..count {
             let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
-            let kind = field_u32(at);
-            let tag = field_u32(at + 4);
-            let offset_raw = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
-            let len_raw = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap());
-            let checksum = u64::from_le_bytes(bytes[at + 24..at + 32].try_into().unwrap());
-            let offset = usize::try_from(offset_raw)
-                .map_err(|_| StoreError::Malformed(format!("section {i} offset overflows")))?;
-            let len = usize::try_from(len_raw)
-                .map_err(|_| StoreError::Malformed(format!("section {i} length overflows")))?;
-            if offset != cursor {
+            let e = Store::table_entry(bytes, at, i)?;
+            if e.offset != cursor {
                 return Err(StoreError::Malformed(format!(
-                    "section {i} offset {offset} out of place (expected {cursor})"
+                    "section {i} offset {} out of place (expected {cursor})",
+                    e.offset
                 )));
             }
-            let end = offset
-                .checked_add(len)
-                .ok_or_else(|| StoreError::Malformed(format!("section {i} extent overflows")))?;
-            if end > bytes.len() {
-                return Err(StoreError::Truncated {
-                    need: end,
-                    have: bytes.len(),
-                });
+            let padded_end = Store::check_section_extent(bytes, &e, i, bytes.len())?;
+            if eager {
+                Store::check_section_checksum(bytes, &e, i)?;
             }
-            let padded_end = align8(end);
-            if padded_end > bytes.len() {
-                return Err(StoreError::Truncated {
-                    need: padded_end,
-                    have: bytes.len(),
-                });
-            }
-            if bytes[end..padded_end].iter().any(|&b| b != 0) {
-                return Err(StoreError::Malformed(format!(
-                    "section {i} alignment padding not zero"
-                )));
-            }
-            let got = fnv1a(&bytes[offset..end]);
-            if got != checksum {
-                return Err(StoreError::ChecksumMismatch {
-                    section: Some(i),
-                    expected: checksum,
-                    got,
-                });
-            }
-            entries.push(SectionEntry {
-                kind,
-                tag,
-                offset,
-                len,
-                checksum,
-            });
+            entries.push(e);
             cursor = padded_end;
         }
         if cursor != bytes.len() {
@@ -168,13 +193,174 @@ impl<'a> Store<'a> {
                 bytes.len() - cursor
             )));
         }
-
         Ok(Store {
             bytes,
             version,
             creator,
             entries,
+            generation: 0,
+            data_end: bytes.len(),
+            lazy: None,
         })
+    }
+
+    /// Resolve and walk the superseding table of an appended container.
+    /// Payloads may live anywhere in `[base table end, new table)` with
+    /// gaps (superseded payloads), but must be aligned, non-overlapping,
+    /// zero-padded and (when `eager`) checksum-clean.
+    fn parse_appended(
+        bytes: &'a [u8],
+        version: u32,
+        creator: String,
+        base_table_end: usize,
+        eager: bool,
+    ) -> Result<Store<'a>, StoreError> {
+        let footer_at = bytes.len() - FOOTER_LEN;
+        let footer_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let table_offset = usize::try_from(footer_u64(footer_at + 8))
+            .map_err(|_| StoreError::Malformed("footer table offset overflows".into()))?;
+        let count = usize::try_from(footer_u64(footer_at + 16))
+            .map_err(|_| StoreError::Malformed("footer section count overflows".into()))?;
+        let generation = footer_u64(footer_at + 24);
+        let recorded = footer_u64(footer_at + 32);
+        if generation == 0 {
+            return Err(StoreError::Malformed(
+                "appended container footer claims generation 0".into(),
+            ));
+        }
+        let table_end = count
+            .checked_mul(SECTION_ENTRY_LEN)
+            .and_then(|t| t.checked_add(table_offset))
+            .ok_or_else(|| StoreError::Malformed("footer section count overflows".into()))?;
+        if table_offset % 8 != 0 || table_offset < base_table_end || table_end != footer_at {
+            return Err(StoreError::Malformed(
+                "footer table bounds out of place".into(),
+            ));
+        }
+        // footer checksum covers the superseding table plus the footer
+        // fields before the checksum itself
+        let mut h = Fnv1a::new();
+        h.update(&bytes[table_offset..table_end]);
+        h.update(&bytes[footer_at..footer_at + FOOTER_LEN - 8]);
+        let got = h.finish();
+        if got != recorded {
+            return Err(StoreError::ChecksumMismatch {
+                section: None,
+                expected: recorded,
+                got,
+            });
+        }
+
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = table_offset + i * SECTION_ENTRY_LEN;
+            let e = Store::table_entry(bytes, at, i)?;
+            if e.offset % 8 != 0 || e.offset < base_table_end {
+                return Err(StoreError::Malformed(format!(
+                    "section {i} offset {} out of place",
+                    e.offset
+                )));
+            }
+            Store::check_section_extent(bytes, &e, i, table_offset)?;
+            if eager {
+                Store::check_section_checksum(bytes, &e, i)?;
+            }
+            entries.push(e);
+        }
+        // no two live payloads may overlap (gaps are fine — they hold
+        // superseded payloads)
+        let mut spans: Vec<(usize, usize, usize)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.offset, e.offset + e.len, i))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(StoreError::Malformed(format!(
+                    "sections {} and {} overlap",
+                    w[0].2, w[1].2
+                )));
+            }
+        }
+        Ok(Store {
+            bytes,
+            version,
+            creator,
+            entries,
+            generation,
+            data_end: table_offset,
+            lazy: None,
+        })
+    }
+
+    /// Decode table entry `i` at byte offset `at`, bounds-converting the
+    /// u64 offset/length fields.
+    fn table_entry(bytes: &[u8], at: usize, i: usize) -> Result<SectionEntry, StoreError> {
+        let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let kind = field_u32(at);
+        let tag = field_u32(at + 4);
+        let offset_raw = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+        let len_raw = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[at + 24..at + 32].try_into().unwrap());
+        let offset = usize::try_from(offset_raw)
+            .map_err(|_| StoreError::Malformed(format!("section {i} offset overflows")))?;
+        let len = usize::try_from(len_raw)
+            .map_err(|_| StoreError::Malformed(format!("section {i} length overflows")))?;
+        Ok(SectionEntry {
+            kind,
+            tag,
+            offset,
+            len,
+            checksum,
+        })
+    }
+
+    /// Bound section `i`'s payload and its zero padding against `limit`
+    /// (the first byte the payload region may not touch). Returns the
+    /// padded end.
+    fn check_section_extent(
+        bytes: &[u8],
+        e: &SectionEntry,
+        i: usize,
+        limit: usize,
+    ) -> Result<usize, StoreError> {
+        let end = e
+            .offset
+            .checked_add(e.len)
+            .ok_or_else(|| StoreError::Malformed(format!("section {i} extent overflows")))?;
+        if end > limit {
+            return Err(StoreError::Truncated {
+                need: end,
+                have: limit,
+            });
+        }
+        let padded_end = align8(end);
+        if padded_end > limit {
+            return Err(StoreError::Truncated {
+                need: padded_end,
+                have: limit,
+            });
+        }
+        if bytes[end..padded_end].iter().any(|&b| b != 0) {
+            return Err(StoreError::Malformed(format!(
+                "section {i} alignment padding not zero"
+            )));
+        }
+        Ok(padded_end)
+    }
+
+    /// Verify section `i`'s payload checksum against its table entry.
+    fn check_section_checksum(bytes: &[u8], e: &SectionEntry, i: usize) -> Result<(), StoreError> {
+        let got = fnv1a(&bytes[e.offset..e.offset + e.len]);
+        if got != e.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                section: Some(i),
+                expected: e.checksum,
+                got,
+            });
+        }
+        Ok(())
     }
 
     /// Container format version.
@@ -189,13 +375,51 @@ impl<'a> Store<'a> {
         &self.creator
     }
 
-    /// The validated section table, in file order.
+    /// The validated section table, in file order (the *superseding*
+    /// table for an appended container).
     #[inline]
     pub fn sections(&self) -> &[SectionEntry] {
         &self.entries
     }
 
-    /// Payload bytes of section `index`.
+    /// Append generation: 0 for a base-layout container, and the number
+    /// of `StoreWriter::append_to` rounds otherwise.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the container carries an appended superseding table.
+    #[inline]
+    pub fn is_appended(&self) -> bool {
+        self.generation > 0
+    }
+
+    /// Whether this view was opened with [`Store::open_lazy`] (payload
+    /// checksums validated on first access instead of up front).
+    #[inline]
+    pub fn is_lazy(&self) -> bool {
+        self.lazy.is_some()
+    }
+
+    /// How many sections have had their checksum verified so far: all
+    /// of them for an eager parse, the memoized count under a lazy open.
+    pub fn sections_verified(&self) -> usize {
+        match &self.lazy {
+            None => self.entries.len(),
+            Some(memo) => memo.iter().filter(|m| m.get().is_some()).count(),
+        }
+    }
+
+    /// End of the payload region an append builds on (the file length
+    /// for a base container, the superseding table's offset otherwise).
+    pub(crate) fn data_end(&self) -> usize {
+        self.data_end
+    }
+
+    /// Raw payload bytes of section `index`, **without** the lazy
+    /// checksum: under [`Store::open_lazy`] these bytes may be
+    /// unverified — typed loaders go through [`Store::payload_checked`].
     ///
     /// # Panics
     ///
@@ -205,6 +429,30 @@ impl<'a> Store<'a> {
     pub fn payload(&self, index: usize) -> &'a [u8] {
         let e = &self.entries[index];
         &self.bytes[e.offset..e.offset + e.len]
+    }
+
+    /// Payload bytes of section `index`, checksum-verified: a no-op
+    /// lookup after [`Store::parse`], and a memoized first-touch FNV
+    /// sweep after [`Store::open_lazy`]. A corrupted payload surfaces
+    /// as [`StoreError::ChecksumMismatch`] on every access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range, like [`Store::payload`].
+    pub fn payload_checked(&self, index: usize) -> Result<&'a [u8], StoreError> {
+        let e = &self.entries[index];
+        let bytes = &self.bytes[e.offset..e.offset + e.len];
+        if let Some(memo) = &self.lazy {
+            let got = *memo[index].get_or_init(|| fnv1a(bytes));
+            if got != e.checksum {
+                return Err(StoreError::ChecksumMismatch {
+                    section: Some(index),
+                    expected: e.checksum,
+                    got,
+                });
+            }
+        }
+        Ok(bytes)
     }
 
     /// Index of the first section of `kind` (any tag).
@@ -219,14 +467,15 @@ impl<'a> Store<'a> {
             .position(|e| e.kind == kind.as_u32() && e.tag == tag)
     }
 
-    /// Payload of the first section of `kind`, or a typed
-    /// [`StoreError::MissingSection`].
+    /// Checksum-verified payload of the first section of `kind`, or a
+    /// typed [`StoreError::MissingSection`].
     pub fn require_kind(&self, kind: SectionKind) -> Result<&'a [u8], StoreError> {
-        self.find_kind(kind)
-            .map(|i| self.payload(i))
-            .ok_or(StoreError::MissingSection(SectionKind::name_of(
+        match self.find_kind(kind) {
+            Some(i) => self.payload_checked(i),
+            None => Err(StoreError::MissingSection(SectionKind::name_of(
                 kind.as_u32(),
-            )))
+            ))),
+        }
     }
 }
 
@@ -255,6 +504,10 @@ mod tests {
             s.require_kind(SectionKind::Clusters),
             Err(StoreError::MissingSection("clusters"))
         ));
+        assert!(!s.is_appended());
+        assert_eq!(s.generation(), 0);
+        assert!(!s.is_lazy());
+        assert_eq!(s.sections_verified(), 3);
     }
 
     #[test]
@@ -338,6 +591,69 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 8]);
         assert!(matches!(
             Store::parse(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn lazy_open_defers_payload_checksums_to_first_touch() {
+        let bytes = sample();
+        let s = Store::open_lazy(&bytes).unwrap();
+        assert!(s.is_lazy());
+        assert_eq!(s.sections_verified(), 0);
+        assert_eq!(s.payload_checked(1).unwrap(), &[6; 24]);
+        assert_eq!(s.sections_verified(), 1);
+        // a second touch reuses the memo
+        assert_eq!(s.payload_checked(1).unwrap(), &[6; 24]);
+        assert_eq!(s.sections_verified(), 1);
+        assert_eq!(s.require_kind(SectionKind::Matrix).unwrap(), &[7; 9]);
+        assert_eq!(s.sections_verified(), 2);
+    }
+
+    #[test]
+    fn lazy_open_accepts_a_corrupt_payload_until_it_is_touched() {
+        let bytes = sample();
+        let parsed = Store::parse(&bytes).unwrap();
+        let off = parsed.sections()[2].offset;
+        let mut corrupt = bytes.clone();
+        corrupt[off] ^= 0x40;
+        // eager parse rejects outright ...
+        assert!(Store::parse(&corrupt).is_err());
+        // ... the lazy open succeeds, untouched sections stay readable,
+        // and the corrupted one fails typed on every touch
+        let s = Store::open_lazy(&corrupt).unwrap();
+        assert_eq!(s.payload_checked(0).unwrap(), &[1, 2, 3, 4, 5]);
+        for _ in 0..2 {
+            assert!(matches!(
+                s.payload_checked(2),
+                Err(StoreError::ChecksumMismatch {
+                    section: Some(2),
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn lazy_open_still_rejects_structural_corruption_eagerly() {
+        // header checksum, table bounds, padding: all eager under lazy
+        let mut bytes = sample();
+        bytes[HEADER_LEN] ^= 1; // table kind field
+        assert!(matches!(
+            Store::open_lazy(&bytes),
+            Err(StoreError::ChecksumMismatch { section: None, .. })
+        ));
+        let mut bytes = sample();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(Store::open_lazy(&bytes).is_err());
+        let bytes = sample();
+        let s = Store::parse(&bytes).unwrap();
+        // flip a padding byte after section 0 (5-byte payload, 3 pad)
+        let pad_at = s.sections()[0].offset + 5;
+        let mut bad = bytes.clone();
+        bad[pad_at] = 1;
+        assert!(matches!(
+            Store::open_lazy(&bad),
             Err(StoreError::Malformed(_))
         ));
     }

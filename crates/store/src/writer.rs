@@ -1,8 +1,12 @@
 //! Container assembly: collect typed section payloads, emit the header,
-//! table and aligned payloads in one pass.
+//! table and aligned payloads in one pass — or append them to an
+//! existing container with a superseding table and footer.
 
+use crate::error::StoreError;
+use crate::reader::{SectionEntry, Store};
 use crate::{
-    align8, fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    align8, fnv1a, Fnv1a, SectionKind, CREATOR_LEN, ENDIAN_TAG, FOOTER_LEN, FOOTER_MAGIC,
+    FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 use std::io::Write;
 
@@ -51,8 +55,18 @@ impl StoreWriter {
         self.sections.len()
     }
 
-    /// Assemble the container bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Assemble the container bytes, with every narrowing cast checked:
+    /// a section count past `u32::MAX` is a typed
+    /// [`StoreError::Malformed`] instead of a silently wrapped header
+    /// field (the offset/length table fields are `usize → u64` and
+    /// cannot lose width).
+    pub fn try_to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let count = u32::try_from(self.sections.len()).map_err(|_| {
+            StoreError::Malformed(format!(
+                "section count {} exceeds the container's u32 field",
+                self.sections.len()
+            ))
+        })?;
         let table_end = HEADER_LEN + self.sections.len() * crate::SECTION_ENTRY_LEN;
         let total: usize = table_end
             + self
@@ -66,7 +80,7 @@ impl StoreWriter {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
-        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
         out.extend_from_slice(&0u32.to_le_bytes()); // reserved
         let mut creator = [0u8; CREATOR_LEN];
         creator[..self.creator.len()].copy_from_slice(self.creator.as_bytes());
@@ -84,11 +98,12 @@ impl StoreWriter {
             offset += align8(payload.len());
         }
 
-        // header checksum: fixed header up to the checksum field + table
-        let mut hashed = Vec::with_capacity(HEADER_LEN - 8 + (out.len() - HEADER_LEN));
-        hashed.extend_from_slice(&out[..HEADER_LEN - 8]);
-        hashed.extend_from_slice(&out[HEADER_LEN..]);
-        let h = fnv1a(&hashed).to_le_bytes();
+        // header checksum: fixed header up to the checksum field + the
+        // table, hashed in place with the streaming hasher
+        let mut h = Fnv1a::new();
+        h.update(&out[..HEADER_LEN - 8]);
+        h.update(&out[HEADER_LEN..]);
+        let h = h.finish().to_le_bytes();
         out[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&h);
 
         // aligned payloads
@@ -97,7 +112,92 @@ impl StoreWriter {
             out.resize(align8(out.len()), 0);
         }
         debug_assert_eq!(out.len(), total);
-        out
+        Ok(out)
+    }
+
+    /// Assemble the container bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer holds more than `u32::MAX` sections — use
+    /// [`StoreWriter::try_to_bytes`] where that is a reachable input.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.try_to_bytes()
+            .expect("section count exceeds the container's u32 field")
+    }
+
+    /// Append this writer's sections to an existing container without
+    /// rewriting its payloads: the result is `base`'s payload region
+    /// followed by the new payloads, a *superseding* section table and a
+    /// 40-byte footer naming it.
+    ///
+    /// A new section whose `(kind, tag)` matches an existing entry
+    /// replaces it in place in the table (the old payload bytes remain
+    /// as an unreferenced gap); otherwise the entry is appended. The
+    /// footer generation counts append rounds, and both [`Store::parse`]
+    /// and [`Store::open_lazy`] resolve the latest table, so readers of
+    /// the grown container see exactly the superseding view. Appending
+    /// to an already-appended container discards the old table/footer
+    /// (they are superseded, not stacked), so repeated checkpoint
+    /// appends grow the file by payload bytes plus one table — not by
+    /// tables.
+    ///
+    /// The base container's own header, table and payload bytes are
+    /// *not* re-validated payload-by-payload here: the open is lazy, so
+    /// appending costs O(header + table + new payloads).
+    pub fn append_to(&self, base: &[u8]) -> Result<Vec<u8>, StoreError> {
+        let store = Store::open_lazy(base)?;
+        let generation = store
+            .generation()
+            .checked_add(1)
+            .ok_or_else(|| StoreError::Malformed("append generation counter overflows".into()))?;
+        let mut out = base[..store.data_end()].to_vec();
+        debug_assert_eq!(out.len() % 8, 0, "payload region must stay 8-aligned");
+
+        // merged table: start from the live entries, replacing matches
+        // in place so `find` keeps returning the first (and only) entry
+        // for a (kind, tag)
+        let mut entries: Vec<SectionEntry> = store.sections().to_vec();
+        for (kind, tag, payload) in &self.sections {
+            let offset = out.len();
+            out.extend_from_slice(payload);
+            out.resize(align8(out.len()), 0);
+            let e = SectionEntry {
+                kind: *kind,
+                tag: *tag,
+                offset,
+                len: payload.len(),
+                checksum: fnv1a(payload),
+            };
+            match entries
+                .iter_mut()
+                .find(|x| x.kind == *kind && x.tag == *tag)
+            {
+                Some(slot) => *slot = e,
+                None => entries.push(e),
+            }
+        }
+
+        // superseding table + footer
+        let table_offset = out.len();
+        for e in &entries {
+            out.extend_from_slice(&e.kind.to_le_bytes());
+            out.extend_from_slice(&e.tag.to_le_bytes());
+            out.extend_from_slice(&(e.offset as u64).to_le_bytes());
+            out.extend_from_slice(&(e.len as u64).to_le_bytes());
+            out.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&FOOTER_MAGIC);
+        footer.extend_from_slice(&(table_offset as u64).to_le_bytes());
+        footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&generation.to_le_bytes());
+        let mut h = Fnv1a::new();
+        h.update(&out[table_offset..]);
+        h.update(&footer);
+        footer.extend_from_slice(&h.finish().to_le_bytes());
+        out.extend_from_slice(&footer);
+        Ok(out)
     }
 
     /// Write the assembled container to `w`.
@@ -157,5 +257,112 @@ mod tests {
         let s = Store::parse(&bytes).unwrap();
         assert!(s.creator().len() <= CREATOR_LEN);
         assert!(s.creator().starts_with("ünïcødé"));
+    }
+
+    #[test]
+    fn append_adds_and_supersedes_sections() {
+        let mut w = StoreWriter::with_creator("append-base");
+        w.add(SectionKind::Graph, 0, vec![1, 2, 3]);
+        w.add(SectionKind::Matrix, 0, vec![0xAA; 16]);
+        let base = w.to_bytes();
+
+        let mut a = StoreWriter::new();
+        a.add(SectionKind::Graph, 0, vec![9, 9, 9, 9]); // supersedes
+        a.add(SectionKind::Clusters, 5, vec![0xBB; 7]); // new
+        let grown = a.append_to(&base).unwrap();
+
+        // the base prefix is byte-identical (nothing rewritten)
+        assert_eq!(&grown[..base.len()], &base[..]);
+        for open in [
+            Store::parse(&grown).unwrap(),
+            Store::open_lazy(&grown).unwrap(),
+        ] {
+            assert!(open.is_appended());
+            assert_eq!(open.generation(), 1);
+            assert_eq!(open.creator(), "append-base");
+            assert_eq!(open.sections().len(), 3);
+            // in-place supersede: Graph is still entry 0, now the new bytes
+            assert_eq!(open.find(SectionKind::Graph, 0), Some(0));
+            assert_eq!(open.payload_checked(0).unwrap(), &[9, 9, 9, 9]);
+            assert_eq!(open.payload_checked(1).unwrap(), &[0xAA; 16]);
+            assert_eq!(open.payload_checked(2).unwrap(), &[0xBB; 7]);
+        }
+    }
+
+    #[test]
+    fn repeated_appends_supersede_the_previous_table() {
+        let mut w = StoreWriter::with_creator("append-chain");
+        w.add(SectionKind::Graph, 0, vec![1; 8]);
+        let mut bytes = w.to_bytes();
+        for round in 1..=3u8 {
+            let mut a = StoreWriter::new();
+            a.add(SectionKind::Graph, 0, vec![round; 8]);
+            bytes = a.append_to(&bytes).unwrap();
+            let s = Store::parse(&bytes).unwrap();
+            assert_eq!(s.generation(), round as u64);
+            assert_eq!(s.sections().len(), 1, "tables must not accumulate");
+            assert_eq!(s.payload(0), &[round; 8]);
+        }
+        // steady-state growth per round is exactly the payload bytes:
+        // the old table + footer are dropped, a same-sized table + footer
+        // are re-emitted
+        let four_rounds = {
+            let mut a = StoreWriter::new();
+            a.add(SectionKind::Graph, 0, vec![9; 8]);
+            a.append_to(&bytes).unwrap()
+        };
+        assert_eq!(four_rounds.len(), bytes.len() + 8);
+    }
+
+    #[test]
+    fn appending_nothing_still_advances_the_generation() {
+        let base = StoreWriter::with_creator("noop-append").to_bytes();
+        let grown = StoreWriter::new().append_to(&base).unwrap();
+        let s = Store::parse(&grown).unwrap();
+        assert!(s.is_appended());
+        assert_eq!(s.generation(), 1);
+        assert_eq!(s.sections().len(), 0);
+    }
+
+    #[test]
+    fn append_to_garbage_fails_typed() {
+        assert!(matches!(
+            StoreWriter::new().append_to(b"not a container"),
+            Err(StoreError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn appended_container_corruption_is_detected() {
+        let mut w = StoreWriter::with_creator("append-corrupt");
+        w.add(SectionKind::Graph, 0, vec![1; 24]);
+        let base = w.to_bytes();
+        let mut a = StoreWriter::new();
+        a.add(SectionKind::Matrix, 0, vec![2; 24]);
+        let grown = a.append_to(&base).unwrap();
+        assert!(Store::parse(&grown).is_ok());
+        // flip one bit everywhere: never a panic, never a clean parse
+        for byte in 0..grown.len() {
+            let mut bad = grown.clone();
+            bad[byte] ^= 0x10;
+            let r = std::panic::catch_unwind(|| Store::parse(&bad).map(|_| ()));
+            match r {
+                Ok(Err(_)) => {}
+                Ok(Ok(())) => panic!("bit flip at byte {byte} parsed clean"),
+                Err(_) => panic!("bit flip at byte {byte} panicked"),
+            }
+        }
+        // truncation anywhere is a typed error — except at exactly the
+        // base container's length, where the torn append leaves the
+        // previous generation fully readable (the crash-safety property
+        // appending relies on)
+        for len in 0..grown.len() {
+            let r = std::panic::catch_unwind(|| Store::parse(&grown[..len]).map(|_| ()));
+            match r {
+                Ok(Err(_)) => assert_ne!(len, base.len(), "base generation must survive"),
+                Ok(Ok(())) => assert_eq!(len, base.len(), "truncation to {len} parsed clean"),
+                Err(_) => panic!("truncation to {len} bytes panicked"),
+            }
+        }
     }
 }

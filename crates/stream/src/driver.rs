@@ -236,7 +236,24 @@ impl StreamDriver {
     /// with [`StreamDriver::resume_from`] and fed the rest of the
     /// stream reproduces the uninterrupted run's windows and final
     /// checksum **exactly**.
-    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+    pub fn checkpoint_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        self.checkpoint_writer()?.try_to_bytes()
+    }
+
+    /// Like [`StreamDriver::checkpoint_bytes`], but grows an existing
+    /// `.csbn` container instead of rewriting it: the checkpoint
+    /// sections are appended after `base`'s payloads under a superseding
+    /// table + footer, so earlier generations of the same file stay
+    /// readable (crash-safe truncation recovers the previous
+    /// generation). `base` may be a base-layout or an already-appended
+    /// container.
+    pub fn checkpoint_append_to(&self, base: &[u8]) -> Result<Vec<u8>, StoreError> {
+        self.checkpoint_writer()?.append_to(base)
+    }
+
+    /// Stage every checkpoint section into a writer (shared by the
+    /// rewrite and append paths).
+    fn checkpoint_writer(&self) -> Result<StoreWriter, StoreError> {
         let mut w = StoreWriter::new();
 
         // online-correlation accumulator state
@@ -254,7 +271,7 @@ impl StreamDriver {
         w.add(SectionKind::OnlineCorrelation, 0, e.into_payload());
 
         // the live network and the maintained chordal subgraph
-        graph_store::add_delta_graph(&mut w, 0, &self.net);
+        graph_store::add_delta_graph(&mut w, 0, &self.net)?;
         graph_store::add_graph(&mut w, CHECKPOINT_CHORDAL_TAG, self.chordal.subgraph());
 
         // incremental-chordal scalars (config, cost model, clock, ops)
@@ -298,10 +315,12 @@ impl StreamDriver {
             e.f64(r.stability);
             e.f64(r.sim_ingest);
             e.f64(r.sim_chordal);
-            e.u64(r.wall.as_nanos() as u64);
+            // a u128 nanosecond count past u64::MAX (584 years of wall
+            // time) saturates instead of silently wrapping
+            e.u64(u64::try_from(r.wall.as_nanos()).unwrap_or(u64::MAX));
         }
         w.add(SectionKind::DriverState, 0, e.into_payload());
-        w.to_bytes()
+        Ok(w)
     }
 
     /// Restore a driver from a checkpoint container written by

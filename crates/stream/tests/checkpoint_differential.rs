@@ -45,7 +45,7 @@ fn resume_from_any_window_boundary_is_bit_identical() {
             partial.ingest_window(&m.columns(lo, hi));
             lo = hi;
         }
-        let ck = partial.checkpoint_bytes();
+        let ck = partial.checkpoint_bytes().unwrap();
         drop(partial);
 
         // restore and finish the stream
@@ -107,7 +107,7 @@ fn chained_checkpoints_stay_identical() {
 
     let mut driver = StreamDriver::new(m.genes(), cfg);
     while driver.samples_ingested() < m.samples() {
-        let ck = driver.checkpoint_bytes();
+        let ck = driver.checkpoint_bytes().unwrap();
         let store = Store::parse(&ck).expect("chained checkpoint parses");
         driver = StreamDriver::resume_from(&store).expect("chained resume");
         let lo = driver.samples_ingested();
@@ -128,7 +128,7 @@ fn resumed_summary_matches_uninterrupted_summary() {
     let mut partial = StreamDriver::new(m.genes(), cfg);
     partial.ingest_window(&m.columns(0, 2));
     partial.ingest_window(&m.columns(2, 4));
-    let ck = partial.checkpoint_bytes();
+    let ck = partial.checkpoint_bytes().unwrap();
     let store = Store::parse(&ck).unwrap();
     let mut resumed = StreamDriver::resume_from(&store).unwrap();
     drive_to_end(&mut resumed, &m, cfg.batch);
@@ -153,7 +153,7 @@ fn non_chordal_checkpoint_subgraph_is_rejected() {
     let cfg = StreamConfig::default();
     let mut driver = StreamDriver::new(m.genes(), cfg);
     driver.ingest_window(&m.columns(0, 2));
-    let ck = driver.checkpoint_bytes();
+    let ck = driver.checkpoint_bytes().unwrap();
     let store = Store::parse(&ck).unwrap();
 
     let c4 = Graph::from_edges(m.genes(), &[(0, 1), (1, 2), (2, 3), (0, 3)]);
@@ -163,6 +163,7 @@ fn non_chordal_checkpoint_subgraph_is_rejected() {
         match kind {
             SectionKind::DeltaGraph => {
                 graph_store::add_delta_graph(&mut w, entry.tag, &DeltaGraph::from_graph(&c4))
+                    .unwrap()
             }
             SectionKind::Graph => graph_store::add_graph(&mut w, entry.tag, &c4),
             _ => w.add(kind, entry.tag, store.payload(i).to_vec()),
@@ -185,7 +186,7 @@ fn corrupted_checkpoints_are_rejected_not_resumed() {
     let cfg = StreamConfig::default();
     let mut driver = StreamDriver::new(m.genes(), cfg);
     driver.ingest_window(&m.columns(0, 2));
-    let ck = driver.checkpoint_bytes();
+    let ck = driver.checkpoint_bytes().unwrap();
 
     // any payload bit flip fails the container parse
     let mut bad = ck.clone();
@@ -206,4 +207,39 @@ fn corrupted_checkpoints_are_rejected_not_resumed() {
         StreamDriver::resume_from(&store),
         Err(StoreError::MissingSection(_))
     ));
+}
+
+#[test]
+fn appended_checkpoints_resume_bit_identically() {
+    // suspend → append into the same container → resume, repeatedly:
+    // every generation must resume to the uninterrupted run's checksum,
+    // whether the container is opened eagerly or lazily
+    let m = replay();
+    let cfg = StreamConfig::default();
+    let mut straight = StreamDriver::new(m.genes(), cfg);
+    drive_to_end(&mut straight, &m, cfg.batch);
+
+    let mut driver = StreamDriver::new(m.genes(), cfg);
+    let mut container = driver.checkpoint_bytes().unwrap();
+    let mut generation = 0u64;
+    while driver.samples_ingested() < m.samples() {
+        let lo = driver.samples_ingested();
+        let hi = (lo + cfg.batch).min(m.samples());
+        driver.ingest_window(&m.columns(lo, hi));
+        container = driver.checkpoint_append_to(&container).unwrap();
+        generation += 1;
+
+        for store in [
+            Store::parse(&container).expect("appended checkpoint parses"),
+            Store::open_lazy(&container).expect("appended checkpoint opens lazily"),
+        ] {
+            assert!(store.is_appended());
+            assert_eq!(store.generation(), generation);
+            let mut resumed = StreamDriver::resume_from(&store).expect("resume from append");
+            assert_eq!(resumed.samples_ingested(), hi);
+            drive_to_end(&mut resumed, &m, cfg.batch);
+            assert_eq!(resumed.checksum(), straight.checksum());
+        }
+    }
+    assert_eq!(driver.checksum(), straight.checksum());
 }

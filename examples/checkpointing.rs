@@ -44,7 +44,7 @@ fn main() {
         driver.ingest_window(&replay.columns(lo, hi));
         lo = hi;
     }
-    let checkpoint = driver.checkpoint_bytes();
+    let checkpoint = driver.checkpoint_bytes().expect("checkpoint serialises");
     println!(
         "suspended after {} samples into a {}-byte .csbn checkpoint",
         driver.samples_ingested(),

@@ -1,0 +1,193 @@
+//! Differential suite for the zero-copy read tier: a graph
+//! reconstructed from the *borrowed* CSR view of a lazily opened
+//! `.csbn` container must be a bit-identical input to every downstream
+//! kernel — DSW chordal extraction, MCODE clustering, incremental
+//! chordal maintenance and the parallel filters all produce the exact
+//! same output (including simulated-cost metrics) whether the graph
+//! came through `load_csr` (owned, eager) or `load_csr_view` (borrowed,
+//! lazy). A property test additionally pins the writer invariant the
+//! borrowed tier depends on: every payload starts on an 8-byte
+//! boundary, for any section mix.
+
+use casbn::chordal::{ChordalConfig, SelectionRule};
+use casbn::graph::store as graph_store;
+use casbn::prelude::*;
+
+/// A deterministic, non-trivial network shared by the kernel tests.
+fn network() -> Graph {
+    let arr = SyntheticMicroarray::generate(
+        &DatasetPreset::Yng.scaled_params(0.05),
+        DatasetPreset::Yng.seed(),
+    );
+    CorrelationNetwork::from_expression(&arr.matrix, DatasetPreset::Yng.network_params()).graph
+}
+
+/// Pack `g`, open the container both ways and return the two graphs the
+/// kernels consume: (owned-tier reconstruction, borrowed-tier
+/// reconstruction). Asserts the CSR arrays are bit-identical first.
+fn both_tiers(g: &Graph) -> (Graph, Graph) {
+    let mut w = StoreWriter::new();
+    graph_store::add_graph(&mut w, 0, g);
+    let bytes = w.to_bytes();
+
+    let eager = Store::parse(&bytes).expect("eager parse of a fresh container");
+    let owned = graph_store::load_csr(&eager, 0).expect("owned load");
+
+    let lazy = Store::open_lazy(&bytes).expect("lazy open of a fresh container");
+    let view = graph_store::load_csr_view(&lazy, 0).expect("borrowed view");
+    // on little-endian hosts the view must actually borrow the section
+    // bytes; elsewhere the checked fallback copies, which is still a
+    // valid (owned) decode of the same payload
+    assert!(
+        view.is_borrowed() || !cfg!(target_endian = "little"),
+        "little-endian hosts must get a true zero-copy view"
+    );
+    assert_eq!(owned.xadj(), view.xadj(), "xadj must be bit-identical");
+    assert_eq!(
+        owned.adjncy(),
+        view.adjncy(),
+        "adjncy must be bit-identical"
+    );
+
+    (owned.to_graph(), view.to_graph())
+}
+
+#[test]
+fn dsw_is_identical_over_owned_and_borrowed_tiers() {
+    let g = network();
+    let (go, gv) = both_tiers(&g);
+    for selection in [SelectionRule::MaxCardinality, SelectionRule::LabelOrder] {
+        let cfg = ChordalConfig { selection };
+        let a = maximal_chordal_subgraph(&go, cfg);
+        let b = maximal_chordal_subgraph(&gv, cfg);
+        assert!(a.graph.same_edges(&b.graph), "retained subgraphs differ");
+        assert_eq!(a.order, b.order, "elimination orders differ");
+        assert_eq!(a.work.ops, b.work.ops, "op counts differ");
+    }
+}
+
+#[test]
+fn mcode_is_identical_over_owned_and_borrowed_tiers() {
+    let g = network();
+    let (go, gv) = both_tiers(&g);
+    let params = McodeParams::default();
+    let a = mcode_cluster(&go, &params);
+    let b = mcode_cluster(&gv, &params);
+    assert_eq!(a.len(), b.len(), "cluster counts differ");
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(ca.vertices, cb.vertices);
+        assert_eq!(ca.edges, cb.edges);
+        assert_eq!(ca.seed, cb.seed);
+        // scores come out of the identical float pipeline — require
+        // bit equality, not an epsilon
+        assert_eq!(ca.score.to_bits(), cb.score.to_bits());
+    }
+}
+
+#[test]
+fn parallel_filters_are_identical_over_owned_and_borrowed_tiers() {
+    let g = network();
+    let (go, gv) = both_tiers(&g);
+    for ranks in [1usize, 4] {
+        let a = ParallelChordalNoCommFilter::new(ranks, PartitionKind::Block).filter(&go, 42);
+        let b = ParallelChordalNoCommFilter::new(ranks, PartitionKind::Block).filter(&gv, 42);
+        assert!(a.graph.same_edges(&b.graph), "p={ranks} outputs differ");
+        assert_eq!(
+            a.stats.sim_makespan.to_bits(),
+            b.stats.sim_makespan.to_bits(),
+            "p={ranks} simulated makespans differ"
+        );
+    }
+    let a = SequentialChordalFilter::new().filter(&go, 42);
+    let b = SequentialChordalFilter::new().filter(&gv, 42);
+    assert!(a.graph.same_edges(&b.graph), "sequential outputs differ");
+}
+
+#[test]
+fn incremental_chordal_is_identical_over_owned_and_borrowed_tiers() {
+    let g = network();
+    let (go, gv) = both_tiers(&g);
+
+    // replay each tier's edge set as a chunked insert stream and let the
+    // maintainer race them: every per-batch metric must agree
+    let drive = |src: &Graph| {
+        let edges: Vec<_> = src.edges().collect();
+        let mut net = DeltaGraph::new(src.n());
+        let mut inc = IncrementalChordal::new(src.n());
+        for chunk in edges.chunks(64) {
+            let d = EdgeDelta {
+                inserts: chunk.to_vec(),
+                removes: Vec::new(),
+            };
+            net.apply(&d);
+            inc.apply(&d, &net);
+        }
+        (
+            inc.retained_edges(),
+            inc.total_ops(),
+            inc.sim_seconds().to_bits(),
+            inc.subgraph().clone(),
+        )
+    };
+    let (ra, oa, sa, sub_a) = drive(&go);
+    let (rb, ob, sb, sub_b) = drive(&gv);
+    assert_eq!(ra, rb, "retained-edge counts differ");
+    assert_eq!(oa, ob, "op counts differ");
+    assert_eq!(sa, sb, "simulated seconds differ");
+    assert!(sub_a.same_edges(&sub_b), "maintained subgraphs differ");
+}
+
+mod alignment {
+    use casbn::store::{SectionKind, Store, StoreWriter};
+    use proptest::prelude::*;
+
+    const KINDS: [SectionKind; 4] = [
+        SectionKind::Graph,
+        SectionKind::Matrix,
+        SectionKind::Clusters,
+        SectionKind::DeltaGraph,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The writer invariant `csr_view_from_payload` leans on: every
+        /// payload in a container — whatever the mix of section kinds
+        /// and (possibly odd, possibly zero) payload lengths — starts at
+        /// an offset divisible by 8, so `&[u8] -> &[u32]` reinterpretation
+        /// never sees a misaligned pointer. Holds through an append
+        /// generation too.
+        #[test]
+        fn every_payload_starts_on_an_8_byte_boundary(
+            lens in proptest::collection::vec(0usize..200, 1..8),
+            kind_picks in proptest::collection::vec(0usize..4, 1..8),
+            append_lens in proptest::collection::vec(0usize..200, 0..4),
+        ) {
+            let mut w = StoreWriter::new();
+            for (i, &len) in lens.iter().enumerate() {
+                let kind = KINDS[kind_picks[i % kind_picks.len()]];
+                w.add(kind, i as u32, vec![0xAB; len]);
+            }
+            let mut bytes = w.to_bytes();
+            if !append_lens.is_empty() {
+                let mut a = StoreWriter::new();
+                for (i, &len) in append_lens.iter().enumerate() {
+                    a.add(SectionKind::Graph, 1000 + i as u32, vec![0xCD; len]);
+                }
+                bytes = a.append_to(&bytes).expect("append to a fresh container");
+            }
+            for parsed in [Store::parse(&bytes).unwrap(), Store::open_lazy(&bytes).unwrap()] {
+                for (i, e) in parsed.sections().iter().enumerate() {
+                    prop_assert_eq!(
+                        e.offset % 8,
+                        0,
+                        "section {} payload offset {} is not 8-aligned",
+                        i,
+                        e.offset
+                    );
+                    prop_assert_eq!(parsed.payload_checked(i).unwrap().len(), e.len);
+                }
+            }
+        }
+    }
+}
