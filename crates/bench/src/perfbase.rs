@@ -36,8 +36,9 @@ pub const DEFAULT_SCALE: f64 = 0.15;
 pub const DEFAULT_REPEATS: usize = 3;
 /// Default relative regression threshold (0.5 = fail above +50%).
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
-/// Baseline-file schema version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Baseline-file schema version. v2 added the per-workload deterministic
+/// `counters` record (work counts from `casbn_obs`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One workload's measurements.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -51,6 +52,11 @@ pub struct WorkloadResult {
     pub sim_seconds: f64,
     /// Deterministic output checksum: retained edges or clusters found.
     pub checksum: u64,
+    /// Deterministic work counters recorded by one untimed instrumented
+    /// pass (`casbn_obs` counter deltas, sorted by key). Perf drift in
+    /// the diff arrives with a work-count explanation; counter movement
+    /// alone is context, never a gate.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// All workloads measured at one dataset scale.
@@ -95,6 +101,9 @@ pub struct DiffReport {
     pub wall_warnings: Vec<Regression>,
     /// Workloads present on one side only.
     pub missing: Vec<String>,
+    /// Work-count movement (`workload: counter old -> new`), context for
+    /// the regressions above — never gating on its own.
+    pub work_notes: Vec<String>,
 }
 
 impl DiffReport {
@@ -126,6 +135,9 @@ impl DiffReport {
                 "MISSING     {m} (present on one side only — gates)\n"
             ));
         }
+        for n in &self.work_notes {
+            out.push_str(&format!("work        {n} (context, not gating)\n"));
+        }
         if self.failures.is_empty() && self.wall_warnings.is_empty() && self.missing.is_empty() {
             out.push_str("no regressions\n");
         }
@@ -146,6 +158,21 @@ fn timed<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
         out = Some(v);
     }
     (best, out.unwrap())
+}
+
+/// [`timed`], plus one extra **untimed** pass with telemetry enabled to
+/// record the workload's deterministic counter deltas. The timed repeats
+/// run with telemetry exactly as the caller left it (disabled by
+/// default, so the measured walls carry no recording overhead), and the
+/// prior enable state is restored afterwards.
+fn timed_counted<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, Vec<(String, u64)>, T) {
+    let (wall, out) = timed(repeats, &mut f);
+    let prior = casbn_obs::set_enabled(true);
+    let before = casbn_obs::snapshot();
+    let _ = f();
+    let counters = casbn_obs::snapshot().counter_delta(&before);
+    casbn_obs::set_enabled(prior);
+    (wall, counters, out)
 }
 
 /// The filter seed every workload pins (with the preset seeds, this is
@@ -186,7 +213,7 @@ fn dsw_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
     // one untimed pass so buffer capacities ratchet before measurement —
     // keeps even `--repeats 1` a steady-state number
     maximal_chordal_subgraph_with(g, ChordalConfig::default(), &mut scratch, &mut result);
-    let (wall, (ops, retained)) = timed(repeats, || {
+    let (wall, counters, (ops, retained)) = timed_counted(repeats, || {
         maximal_chordal_subgraph_with(g, ChordalConfig::default(), &mut scratch, &mut result);
         (result.work.ops, result.graph.m())
     });
@@ -195,6 +222,7 @@ fn dsw_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
         wall_seconds: wall,
         sim_seconds: ops as f64 * CostModel::default().seconds_per_op,
         checksum: retained as u64,
+        counters,
     }
 }
 
@@ -206,7 +234,7 @@ fn mcode_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
     let mut clusters: Vec<Cluster> = Vec::new();
     // untimed warm-up, as in `dsw_workload`
     mcode_cluster_into(g, &McodeParams::default(), &mut scratch, &mut clusters);
-    let (wall, found) = timed(repeats, || {
+    let (wall, counters, found) = timed_counted(repeats, || {
         mcode_cluster_into(g, &McodeParams::default(), &mut scratch, &mut clusters);
         clusters.len()
     });
@@ -215,6 +243,7 @@ fn mcode_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: found as u64,
+        counters,
     }
 }
 
@@ -249,7 +278,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         &DatasetPreset::Cre.scaled_params(scale),
         DatasetPreset::Cre.seed(),
     );
-    let (wall, yng_net) = timed(repeats, || {
+    let (wall, counters, yng_net) = timed_counted(repeats, || {
         CorrelationNetwork::from_expression(&yng_arr.matrix, DatasetPreset::Yng.network_params())
     });
     results.push(WorkloadResult {
@@ -257,8 +286,9 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: yng_net.graph.m() as u64,
+        counters,
     });
-    let (wall, cre_net) = timed(repeats, || {
+    let (wall, counters, cre_net) = timed_counted(repeats, || {
         CorrelationNetwork::from_expression(&cre_arr.matrix, DatasetPreset::Cre.network_params())
     });
     results.push(WorkloadResult {
@@ -266,6 +296,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: cre_net.graph.m() as u64,
+        counters,
     });
 
     // Artifact-store workload: the YNG network is packed into a .csbn
@@ -279,7 +310,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         casbn_graph::store::add_graph(&mut w, 0, &yng_net.graph);
         w.to_bytes()
     };
-    let (wall, loaded_edges) = timed(repeats, || {
+    let (wall, counters, loaded_edges) = timed_counted(repeats, || {
         let store = Store::parse(&store_bytes).expect("freshly written container parses");
         casbn_graph::store::load_csr(&store, 0)
             .expect("freshly written graph section loads")
@@ -290,6 +321,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: loaded_edges as u64,
+        counters,
     });
 
     // Lazy-open workload: the same container opened through the
@@ -300,7 +332,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     // lazy open reads without touching a payload byte; the ≥10× open-
     // time win over `store-load-yng` is pinned by the
     // store_open_lazy_ratio test.
-    let (wall, table_fold) = timed(repeats, || {
+    let (wall, counters, table_fold) = timed_counted(repeats, || {
         let store = Store::open_lazy(&store_bytes).expect("freshly written container opens");
         store
             .sections()
@@ -312,6 +344,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: 0.0,
         checksum: table_fold,
+        counters,
     });
 
     // Filter + clustering workloads run on the YNG network, with the
@@ -322,7 +355,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     results.push(mcode_workload("mcode-yng", g, repeats));
     results.push(mcode_workload("mcode-cre", &cre_net.graph, repeats));
     for ranks in [1usize, 4, 8] {
-        let (wall, out) = timed(repeats, || {
+        let (wall, counters, out) = timed_counted(repeats, || {
             ParallelChordalNoCommFilter::new(ranks, PartitionKind::Block).filter(g, BENCH_SEED)
         });
         results.push(WorkloadResult {
@@ -330,6 +363,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
             wall_seconds: wall,
             sim_seconds: out.stats.sim_makespan,
             checksum: out.stats.retained_edges as u64,
+            counters,
         });
     }
 
@@ -340,12 +374,13 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     // metric checksum.
     let replay = synthesize_replay(DatasetPreset::Yng, scale, None);
     let cfg = StreamConfig::default();
-    let (wall, summary) = timed(repeats, || StreamDriver::run(&replay, cfg));
+    let (wall, counters, summary) = timed_counted(repeats, || StreamDriver::run(&replay, cfg));
     results.push(WorkloadResult {
         name: "stream-yng".into(),
         wall_seconds: wall,
         sim_seconds: summary.windows.iter().map(|w| w.sim_ingest).sum(),
         checksum: summary.checksum,
+        counters,
     });
 
     // `inc-chordal-yng` isolates the incremental chordal maintenance:
@@ -369,7 +404,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     // steady-state replay cost — no capacity is re-allocated
     let mut net = DeltaGraph::new(replay.genes());
     let mut inc = IncrementalChordal::new(replay.genes());
-    let (wall, (sim, retained)) = timed(repeats, || {
+    let (wall, counters, (sim, retained)) = timed_counted(repeats, || {
         net.clear();
         inc.reset();
         for d in &deltas {
@@ -383,6 +418,7 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: sim,
         checksum: retained as u64,
+        counters,
     });
 
     // quantise ulp accumulation noise out of the recorded seconds so the
@@ -519,6 +555,29 @@ pub fn diff(
             continue;
         };
         report.compared += 1;
+        // work-count context: counter movement explains a perf drift but
+        // never gates (counters may be absent on a v1 baseline)
+        let old_counters: std::collections::BTreeMap<&str, u64> =
+            old.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let new_counters: std::collections::BTreeMap<&str, u64> =
+            new.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        if !old_counters.is_empty() && !new_counters.is_empty() {
+            for (k, &nv) in &new_counters {
+                let ov = old_counters.get(k).copied().unwrap_or(0);
+                if ov != nv {
+                    report
+                        .work_notes
+                        .push(format!("{}: {k} {ov} -> {nv}", new.name));
+                }
+            }
+            for (k, &ov) in &old_counters {
+                if !new_counters.contains_key(k) {
+                    report
+                        .work_notes
+                        .push(format!("{}: {k} {ov} -> 0", new.name));
+                }
+            }
+        }
         if new.checksum != old.checksum {
             report.failures.push(Regression {
                 workload: new.name.clone(),
@@ -671,6 +730,7 @@ mod tests {
                 wall_seconds,
                 sim_seconds: 1.0,
                 checksum: 7,
+                counters: vec![("w.ops".into(), 10)],
             }],
         }
     }
@@ -727,6 +787,7 @@ mod tests {
             wall_seconds: 1.0,
             sim_seconds: 0.0,
             checksum: 3,
+            counters: vec![],
         });
         let base = merge(PerfBaseline::default(), old);
         let mut fresh = wall_suite(0.005); // 2× faster
@@ -736,6 +797,7 @@ mod tests {
             wall_seconds: 0.5,
             sim_seconds: 0.0,
             checksum: 4,
+            counters: vec![],
         });
         let md = render_markdown(&base, &fresh);
         assert!(md.contains("| `w` | 10.000 | 5.000 | 2.00× |"), "{md}");
@@ -767,6 +829,7 @@ mod tests {
                 wall_seconds: 1.0,
                 sim_seconds: 0.0,
                 checksum: 1,
+                counters: vec![],
             }],
         };
         let base = merge(merge(merge(PerfBaseline::default(), a), b), c);

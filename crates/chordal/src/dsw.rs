@@ -271,6 +271,11 @@ pub fn maximal_chordal_subgraph_with(
         }
     }
     out.sort_adjacency();
+    // one shard write per extraction, not per candidate update: the hot
+    // loop above already aggregates into the result's WorkCounter
+    casbn_obs::counter_inc("dsw.extractions");
+    casbn_obs::counter_add("dsw.ops", work.ops);
+    casbn_obs::counter_add("dsw.retained_edges", out.m() as u64);
 }
 
 /// Re-offer every edge of `g` missing from `h` (in canonical edge order)

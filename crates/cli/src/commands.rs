@@ -23,20 +23,23 @@ casbn — chordal adaptive sampling for biological networks
 
 USAGE:
   casbn generate --preset yng|mid|unt|cre [--scale F] [--out FILE]
+                 [--metrics FILE|-]
   casbn filter   --in FILE --algo ALGO [--ranks N] [--partition block|rr|bfs]
-                 [--seed N] [--out FILE]
+                 [--seed N] [--out FILE] [--metrics FILE|-]
   casbn cluster  --in FILE [--min-score F] [--min-size N] [--json]
-  casbn stats    --in FILE [--centrality]
-  casbn compare  --original FILE --filtered FILE
+                 [--metrics FILE|-]
+  casbn stats    --in FILE [--centrality] [--metrics FILE|-]
+  casbn compare  --original FILE --filtered FILE [--metrics FILE|-]
   casbn bench    [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
-                 [--threshold F] [--wall] [--summary FILE]
+                 [--threshold F] [--wall] [--summary FILE] [--metrics FILE|-]
   casbn stream   (--preset P [--scale F] [--samples N] | --in FILE)
                  [--batch N] [--min-rho F] [--min-score F] [--json]
                  [--out FILE] [--replay-out FILE] [--expect-checksum N]
                  [--checkpoint FILE] [--resume FILE] [--windows N]
+                 [--metrics FILE|-]
   casbn pack     --in FILE --kind graph|replay|clusters --out FILE
-  casbn inspect  --in FILE
-  casbn verify   --in FILE
+  casbn inspect  --in FILE [--json] [--metrics FILE|-]
+  casbn verify   --in FILE [--metrics FILE|-]
   casbn fuzz     [--target T|all] [--iters N] [--seed N] [--corpus DIR]
                  [--minimize FILE]
   casbn help
@@ -58,8 +61,14 @@ FLAGS:
   --seed       RNG seed; equal seeds give identical output (default 0)
   --min-score  MCODE minimum cluster score (default 3.0, the paper's cut)
   --min-size   MCODE minimum cluster size (default 4)
-  --json       emit clusters as JSON instead of a table
+  --json       emit clusters as JSON instead of a table (for `inspect`:
+               the container layout as JSON)
   --centrality also print degree/betweenness centrality (slow on big graphs)
+  --metrics    write a JSON snapshot of the run's internal telemetry
+               (counters, histograms, span timers) to FILE, or print a
+               human-readable table to stderr with `-`; the snapshot's
+               \"deterministic\" section is bit-identical across thread
+               counts, wall-clock times live under \"wall\"
   --original   unfiltered network for `compare`
   --filtered   filtered network for `compare`
   --repeats    `bench` timing repetitions, minimum wall time kept (default 3)
@@ -118,10 +127,12 @@ presets, sequential DSW, MCODE, the no-comm parallel chordal filter at
 1/4/8 ranks, and the streaming pipeline: YNG replay batch ingest plus
 incremental chordal delta maintenance) at a pinned scale and seed, then
 optionally diffs the measurements against a committed baseline JSON.
+Every workload record carries the deterministic telemetry counters of
+one instrumented pass (context for baseline diffs — never a gate).
 
 USAGE:
   casbn bench [--scale F] [--repeats N] [--out FILE] [--baseline FILE]
-              [--threshold F] [--wall] [--summary FILE]
+              [--threshold F] [--wall] [--summary FILE] [--metrics FILE|-]
 
 FLAGS:
   --scale      dataset size fraction (default 0.15; CI smoke uses 0.02)
@@ -135,6 +146,8 @@ FLAGS:
   --summary    write a markdown before/after wall-time comparison table
                against --baseline to FILE (uploaded by CI as the
                bench-smoke job-summary artifact)
+  --metrics    write the whole run's telemetry snapshot to FILE as JSON
+               (`-` prints a human table to stderr)
 ";
 
 /// `casbn stream --help` text (also asserted verbatim by the CLI snapshot
@@ -165,6 +178,7 @@ USAGE:
                [--batch N] [--min-rho F] [--min-score F] [--json]
                [--out FILE] [--replay-out FILE] [--expect-checksum N]
                [--checkpoint FILE] [--resume FILE] [--windows N]
+               [--metrics FILE|-]
 
 FLAGS:
   --preset     synthesize the replay from a dataset preset's calibrated
@@ -192,6 +206,9 @@ FLAGS:
                batch size and thresholds come from the checkpoint, so
                --batch/--min-rho/--min-score are rejected here)
   --windows    ingest at most N windows this run (default: no limit)
+  --metrics    write the run's telemetry snapshot to FILE as JSON
+               (`-` prints a human table to stderr); the summary also
+               reports per-window wall p50/p95/max
 
 Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
 ";
@@ -234,6 +251,34 @@ Exit codes: 0 clean, 1 crashes found, 2 usage error.
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     2
+}
+
+/// Arm telemetry when `--metrics <file|->` is present: reset and enable
+/// the process-wide registry so the final snapshot covers exactly this
+/// run. Returns the destination for [`metrics_finish`].
+fn metrics_begin(args: &Args) -> Option<&str> {
+    let dest = args.get("metrics");
+    if dest.is_some() {
+        casbn_obs::reset();
+        casbn_obs::set_enabled(true);
+    }
+    dest
+}
+
+/// Emit the armed snapshot: `-` renders the human table on stderr (so
+/// stdout stays machine-readable), anything else writes the full JSON
+/// document — deterministic and wall sections — to the named file.
+fn metrics_finish(dest: Option<&str>) -> Result<(), String> {
+    let Some(dest) = dest else { return Ok(()) };
+    let snap = casbn_obs::snapshot();
+    casbn_obs::set_enabled(false);
+    if dest == "-" {
+        eprint!("{}", snap.render_table());
+    } else {
+        std::fs::write(dest, snap.to_json()).map_err(|e| format!("write {dest}: {e}"))?;
+        eprintln!("wrote metrics {dest}");
+    }
+    Ok(())
 }
 
 /// Read a network from `path`, auto-detecting the `.csbn` binary
@@ -279,6 +324,7 @@ fn save(g: &Graph, path: Option<&str>, header: &str) -> Result<(), String> {
 pub fn generate(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
+        let metrics = metrics_begin(&args);
         let preset = match args.require("preset")? {
             "yng" => DatasetPreset::Yng,
             "mid" => DatasetPreset::Mid,
@@ -303,7 +349,8 @@ pub fn generate(argv: &[String]) -> i32 {
             &ds.network,
             args.get("out"),
             &format!("{} correlation network (rho >= 0.95)", ds.name),
-        )
+        )?;
+        metrics_finish(metrics)
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
@@ -312,6 +359,7 @@ pub fn generate(argv: &[String]) -> i32 {
 pub fn filter(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
+        let metrics = metrics_begin(&args);
         let g = load(args.require("in")?)?;
         let ranks: usize = args.get_or("ranks", 1)?;
         let seed: u64 = args.get_or("seed", 0)?;
@@ -345,7 +393,8 @@ pub fn filter(argv: &[String]) -> i32 {
             out.stats.messages,
             out.stats.sim_makespan * 1e3,
         );
-        save(&out.graph, args.get("out"), &format!("filtered by {algo}"))
+        save(&out.graph, args.get("out"), &format!("filtered by {algo}"))?;
+        metrics_finish(metrics)
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
@@ -354,6 +403,7 @@ pub fn filter(argv: &[String]) -> i32 {
 pub fn cluster(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
+        let metrics = metrics_begin(&args);
         let g = load(args.require("in")?)?;
         let params = McodeParams {
             min_score: args.get_or("min-score", 3.0)?,
@@ -383,39 +433,46 @@ pub fn cluster(argv: &[String]) -> i32 {
                 );
             }
         }
-        Ok(())
+        metrics_finish(metrics)
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
 
-/// Print a parsed container's metadata block: version, creator, and
-/// the per-section kind/tag/size/checksum table (`stats` and `inspect`
-/// share this).
-fn print_container_metadata(store: &Store<'_>, file_len: usize) {
-    println!(
+/// Render a parsed container's metadata block: version, creator, and
+/// the per-section kind/tag/size/checksum table. `inspect` prints it on
+/// stdout as its report; `stats` prints it on stderr as a diagnostic
+/// preamble so the statistics stay alone on stdout.
+fn container_metadata(store: &Store<'_>, file_len: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "container       .csbn v{} (creator \"{}\", {} bytes)",
         store.version(),
         store.creator(),
         file_len
     );
     if store.is_appended() {
-        println!(
+        let _ = writeln!(
+            out,
             "layout          appended (generation {})",
             store.generation()
         );
     } else {
-        println!("layout          base");
+        let _ = writeln!(out, "layout          base");
     }
     if store.is_lazy() {
-        println!(
+        let _ = writeln!(
+            out,
             "payloads        {} of {} verified (lazy open; `casbn verify` sweeps all)",
             store.sections_verified(),
             store.sections().len()
         );
     }
-    println!("sections        {}", store.sections().len());
+    let _ = writeln!(out, "sections        {}", store.sections().len());
     for (i, s) in store.sections().iter().enumerate() {
-        println!(
+        let _ = writeln!(
+            out,
             "  [{i}] {:<18} tag {:<4} {:>10} bytes  checksum {:#018x}",
             SectionKind::name_of(s.kind),
             s.tag,
@@ -423,15 +480,71 @@ fn print_container_metadata(store: &Store<'_>, file_len: usize) {
             s.checksum
         );
     }
+    out
+}
+
+/// Machine-readable `inspect --json` document, emitted with the
+/// telemetry crate's JSON writer so the layout report and the metrics
+/// snapshots share one formatting discipline. Checksums are hex strings
+/// because u64 values exceed the exact-integer range of JSON doubles.
+fn container_json(store: &Store<'_>, file_len: usize) -> String {
+    let mut w = casbn_obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("version");
+    w.value_u64(1);
+    w.key("container");
+    w.begin_object();
+    w.key("format_version");
+    w.value_u64(u64::from(store.version()));
+    w.key("creator");
+    w.value_str(store.creator());
+    w.key("bytes");
+    w.value_u64(file_len as u64);
+    w.key("layout");
+    w.value_str(if store.is_appended() {
+        "appended"
+    } else {
+        "base"
+    });
+    w.key("generation");
+    w.value_u64(store.generation());
+    w.key("lazy");
+    w.value_bool(store.is_lazy());
+    w.key("sections");
+    w.begin_array();
+    for (i, s) in store.sections().iter().enumerate() {
+        w.begin_object();
+        w.key("index");
+        w.value_u64(i as u64);
+        w.key("kind");
+        w.value_str(SectionKind::name_of(s.kind));
+        w.key("tag");
+        w.value_u64(u64::from(s.tag));
+        w.key("len");
+        w.value_u64(s.len as u64);
+        w.key("checksum");
+        w.value_str(&format!("{:#018x}", s.checksum));
+        w.key("verified");
+        w.value_bool(store.section_verified(i));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
 }
 
 /// `casbn stats` — structural statistics of a network. On a `.csbn`
 /// input the container metadata (section sizes, checksums, creator
-/// version) is reported alongside the graph statistics.
+/// version) is reported on stderr alongside the graph statistics, so
+/// stdout stays parseable regardless of the input format.
 pub fn stats(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
-        let g = load_with(args.require("in")?, print_container_metadata)?;
+        let metrics = metrics_begin(&args);
+        let g = load_with(args.require("in")?, |store, len| {
+            eprint!("{}", container_metadata(store, len))
+        })?;
         let (_, comps) = casbn_graph::algo::connected_components(&g);
         let tri = casbn_graph::algo::total_triangles(&g);
         let census = casbn_graph::algo::cycle_census(&g);
@@ -457,7 +570,7 @@ pub fn stats(argv: &[String]) -> i32 {
                 );
             }
         }
-        Ok(())
+        metrics_finish(metrics)
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
@@ -483,9 +596,11 @@ pub fn bench(argv: &[String]) -> i32 {
                 "baseline",
                 "threshold",
                 "summary",
+                "metrics",
             ],
             &["wall"],
         )?;
+        let metrics = metrics_begin(&args);
         let scale: f64 = args.get_or("scale", perfbase::DEFAULT_SCALE)?;
         let repeats: usize = args.get_or("repeats", perfbase::DEFAULT_REPEATS)?;
         let threshold: f64 = args.get_or("threshold", perfbase::DEFAULT_THRESHOLD)?;
@@ -497,12 +612,14 @@ pub fn bench(argv: &[String]) -> i32 {
         }
         eprintln!("running perf baseline at scale {scale} ({repeats} repeats)…");
         let suite = perfbase::run_suite(scale, repeats);
-        println!(
+        // diagnostics: the timing table and diff report are for the
+        // human watching the run, stdout stays free for machine output
+        eprintln!(
             "{:<16} {:>12} {:>12} {:>10}",
             "workload", "wall ms", "sim ms", "checksum"
         );
         for r in &suite.results {
-            println!(
+            eprintln!(
                 "{:<16} {:>12.3} {:>12.3} {:>10}",
                 r.name,
                 r.wall_seconds * 1e3,
@@ -515,7 +632,7 @@ pub fn bench(argv: &[String]) -> i32 {
             let base: perfbase::PerfBaseline =
                 serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
             let report = perfbase::diff(&base, &suite, threshold, args.has("wall"));
-            print!("{}", report.render());
+            eprint!("{}", report.render());
             if let Some(md_path) = args.get("summary") {
                 let md = perfbase::render_markdown(&base, &suite);
                 std::fs::write(md_path, md).map_err(|e| format!("write {md_path}: {e}"))?;
@@ -542,7 +659,7 @@ pub fn bench(argv: &[String]) -> i32 {
             std::fs::write(out, json + "\n").map_err(|e| format!("write {out}: {e}"))?;
             eprintln!("wrote {out}");
         }
-        Ok(())
+        metrics_finish(metrics)
     };
     match run() {
         Err(e) => fail(&e),
@@ -578,9 +695,11 @@ pub fn stream(argv: &[String]) -> i32 {
                 "checkpoint",
                 "resume",
                 "windows",
+                "metrics",
             ],
             &["json"],
         )?;
+        let metrics = metrics_begin(&args);
         let resume_path = args.get("resume");
         if resume_path.is_some() {
             // the checkpoint carries the run configuration; a silently
@@ -761,7 +880,9 @@ pub fn stream(argv: &[String]) -> i32 {
                 serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
             );
         } else {
-            println!(
+            // the per-window table is progress diagnostics: stderr, so
+            // stdout carries only the machine-checkable checksum line
+            eprintln!(
                 "{:<4} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9} {:>10} {:>11} {:>12} {:>9}",
                 "win",
                 "samples",
@@ -776,7 +897,7 @@ pub fn stream(argv: &[String]) -> i32 {
                 "wall ms"
             );
             for w in &summary.windows {
-                println!(
+                eprintln!(
                     "{:<4} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>11.3} {:>12.4} {:>9.3}",
                     w.window,
                     w.samples_seen,
@@ -791,10 +912,16 @@ pub fn stream(argv: &[String]) -> i32 {
                     w.wall.as_secs_f64() * 1e3,
                 );
             }
-            println!(
+            eprintln!(
                 "total churn {} over {} windows",
                 summary.total_churn(),
                 summary.windows.len()
+            );
+            eprintln!(
+                "window wall p50 {:.3} ms  p95 {:.3} ms  max {:.3} ms",
+                summary.wall_p50_nanos as f64 / 1e6,
+                summary.wall_p95_nanos as f64 / 1e6,
+                summary.wall_max_nanos as f64 / 1e6,
             );
             // in JSON mode the checksum is a field of the document — a
             // trailer there would break `… --json | jq`
@@ -819,7 +946,7 @@ pub fn stream(argv: &[String]) -> i32 {
                 checksum_mismatch = true;
             }
         }
-        Ok(())
+        metrics_finish(metrics)
     };
     match run() {
         Err(e) => fail(&e),
@@ -879,9 +1006,10 @@ pub fn pack(argv: &[String]) -> i32 {
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }
 
-/// `casbn inspect` — print a container's header and section table.
-/// Opens lazily, so the cost is O(header + table) regardless of payload
-/// size; payload checksums are deferred (`casbn verify` sweeps them).
+/// `casbn inspect` — print a container's header and section table
+/// (`--json` for the machine-readable layout document). Opens lazily,
+/// so the cost is O(header + table) regardless of payload size; payload
+/// checksums are deferred (`casbn verify` sweeps them).
 /// Exit codes: 0 ok, 1 structurally corrupt container, 2 usage error.
 pub fn inspect(argv: &[String]) -> i32 {
     container_report(argv, true)
@@ -901,7 +1029,12 @@ fn container_report(argv: &[String], table: bool) -> i32 {
     let mut corrupt = false;
     let mut run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
-        args.reject_unknown(&["in"], &[])?;
+        if table {
+            args.reject_unknown(&["in", "metrics"], &["json"])?;
+        } else {
+            args.reject_unknown(&["in", "metrics"], &[])?;
+        }
+        let metrics = metrics_begin(&args);
         let path = args.require("in")?;
         let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
         let opened = if table {
@@ -911,8 +1044,10 @@ fn container_report(argv: &[String], table: bool) -> i32 {
         };
         match opened {
             Ok(store) => {
-                if table {
-                    print_container_metadata(&store, bytes.len());
+                if table && args.has("json") {
+                    print!("{}", container_json(&store, bytes.len()));
+                } else if table {
+                    print!("{}", container_metadata(&store, bytes.len()));
                 } else {
                     println!(
                         "ok: {} sections, {} bytes, all checksums verified",
@@ -920,14 +1055,13 @@ fn container_report(argv: &[String], table: bool) -> i32 {
                         bytes.len()
                     );
                 }
-                Ok(())
             }
             Err(e) => {
                 eprintln!("{path}: {e}");
                 corrupt = true;
-                Ok(())
             }
         }
+        metrics_finish(metrics)
     };
     match run() {
         Err(e) => fail(&e),
@@ -946,11 +1080,14 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
         return Ok(()); // bare `casbn` prints usage
     };
     let (valued, switches): (&[&str], &[&str]) = match cmd.as_str() {
-        "generate" => (&["preset", "scale", "out"], &[]),
-        "filter" => (&["in", "algo", "ranks", "partition", "seed", "out"], &[]),
-        "cluster" => (&["in", "min-score", "min-size"], &["json"]),
-        "stats" => (&["in"], &["centrality"]),
-        "compare" => (&["original", "filtered"], &[]),
+        "generate" => (&["preset", "scale", "out", "metrics"], &[]),
+        "filter" => (
+            &["in", "algo", "ranks", "partition", "seed", "out", "metrics"],
+            &[],
+        ),
+        "cluster" => (&["in", "min-score", "min-size", "metrics"], &["json"]),
+        "stats" => (&["in", "metrics"], &["centrality"]),
+        "compare" => (&["original", "filtered", "metrics"], &[]),
         "bench" => (
             &[
                 "scale",
@@ -959,6 +1096,7 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
                 "baseline",
                 "threshold",
                 "summary",
+                "metrics",
             ],
             &["wall"],
         ),
@@ -977,11 +1115,13 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
                 "checkpoint",
                 "resume",
                 "windows",
+                "metrics",
             ],
             &["json"],
         ),
         "pack" => (&["in", "kind", "out"], &[]),
-        "inspect" | "verify" => (&["in"], &[]),
+        "inspect" => (&["in", "metrics"], &["json"]),
+        "verify" => (&["in", "metrics"], &[]),
         "fuzz" => (&["target", "iters", "seed", "corpus", "minimize"], &[]),
         "help" | "--help" | "-h" => return Ok(()),
         other => return Err(format!("unknown subcommand: {other}")),
@@ -1162,6 +1302,7 @@ pub fn fuzz(argv: &[String]) -> i32 {
 pub fn compare(argv: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
+        let metrics = metrics_begin(&args);
         let orig = load(args.require("original")?)?;
         let filt = load(args.require("filtered")?)?;
         let params = McodeParams::default();
@@ -1187,7 +1328,7 @@ pub fn compare(argv: &[String]) -> i32 {
                 );
             }
         }
-        Ok(())
+        metrics_finish(metrics)
     };
     run().map(|_| 0).unwrap_or_else(|e| fail(&e))
 }

@@ -41,6 +41,7 @@ const PARSED_FLAGS: &[&str] = &[
     "--iters",
     "--corpus",
     "--minimize",
+    "--metrics",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -52,6 +53,7 @@ const BENCH_FLAGS: &[&str] = &[
     "--threshold",
     "--wall",
     "--summary",
+    "--metrics",
 ];
 
 /// The `stream` flags, also documented in the subcommand's own help.
@@ -70,6 +72,7 @@ const STREAM_FLAGS: &[&str] = &[
     "--checkpoint",
     "--resume",
     "--windows",
+    "--metrics",
 ];
 
 /// The `fuzz` flags, also documented in the subcommand's own help.

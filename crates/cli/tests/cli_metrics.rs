@@ -1,0 +1,179 @@
+//! `--metrics` through the binary: the snapshot's deterministic section
+//! is pinned by a committed fixture (the CI metrics-smoke gate), the
+//! `-` destination renders on stderr without disturbing stdout, and
+//! `inspect --json` emits the machine-readable container layout.
+//!
+//! Regenerate the fixture deliberately with
+//! `CASBN_REGEN_METRICS=1 cargo test -p casbn_cli --test cli_metrics`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn casbn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(args)
+        .output()
+        .expect("run casbn")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("cli_metrics_{name}"));
+    p.to_str().unwrap().to_string()
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// The CI streaming-smoke invocation, with telemetry armed.
+const STREAM_ARGS: &[&str] = &[
+    "stream",
+    "--preset",
+    "yng",
+    "--scale",
+    "0.02",
+    "--batch",
+    "2",
+    "--expect-checksum",
+    "17660843889947913608",
+];
+
+/// Extract the `"deterministic"` object from a snapshot document by
+/// brace matching. Sound because the writer never emits braces inside
+/// strings here: every key is a static identifier and every value in
+/// the metrics document is numeric.
+fn extract_deterministic(doc: &str) -> String {
+    let key = "\"deterministic\": ";
+    let start = doc.find(key).expect("deterministic section") + key.len();
+    let mut depth = 0usize;
+    for (i, b) in doc.as_bytes()[start..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return doc[start..start + i + 1].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced deterministic object in {doc}");
+}
+
+#[test]
+fn stream_metrics_snapshot_matches_committed_fixture() {
+    let out_path = tmp("stream.metrics.json");
+    let out = casbn(&[STREAM_ARGS, &["--metrics", out_path.as_str()]].concat());
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "telemetry must not disturb the pinned checksum: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("wrote metrics"), "{}", stderr(&out));
+
+    let doc = std::fs::read_to_string(&out_path).expect("metrics file");
+    assert!(doc.contains("\"version\": 1"), "{doc}");
+    assert!(
+        doc.contains("\"wall\""),
+        "full document carries wall: {doc}"
+    );
+    let det = extract_deterministic(&doc);
+    assert!(
+        !det.contains("wall"),
+        "wall leaked into deterministic: {det}"
+    );
+
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/metrics_stream_yng_002.json");
+    if std::env::var("CASBN_REGEN_METRICS").is_ok() {
+        std::fs::write(&fixture, det.clone() + "\n").expect("write fixture");
+        eprintln!("regenerated {}", fixture.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&fixture)
+        .expect("committed fixture (regenerate with CASBN_REGEN_METRICS=1)");
+    assert_eq!(
+        det,
+        want.trim_end(),
+        "deterministic metrics drifted from the committed fixture; if the \
+         change is intentional regenerate with CASBN_REGEN_METRICS=1"
+    );
+
+    // a second run reproduces the snapshot byte-for-byte
+    let out_path2 = tmp("stream.metrics2.json");
+    let out = casbn(&[STREAM_ARGS, &["--metrics", out_path2.as_str()]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let doc2 = std::fs::read_to_string(&out_path2).expect("metrics file");
+    assert_eq!(
+        extract_deterministic(&doc2),
+        det,
+        "snapshot not reproducible"
+    );
+}
+
+#[test]
+fn metrics_dash_renders_on_stderr_and_leaves_stdout_alone() {
+    let plain = casbn(STREAM_ARGS);
+    assert_eq!(plain.status.code(), Some(0), "{}", stderr(&plain));
+    let dashed = casbn(&[STREAM_ARGS, &["--metrics", "-"]].concat());
+    assert_eq!(dashed.status.code(), Some(0), "{}", stderr(&dashed));
+    assert_eq!(
+        stdout(&plain),
+        stdout(&dashed),
+        "`--metrics -` must not disturb stdout"
+    );
+    let diag = stderr(&dashed);
+    assert!(diag.contains("counters"), "{diag}");
+    assert!(diag.contains("stream.windows"), "{diag}");
+    assert!(diag.contains("spans"), "{diag}");
+    // the run diagnostics also report the wall percentiles satellite
+    assert!(diag.contains("window wall p50"), "{diag}");
+}
+
+#[test]
+fn inspect_json_reports_the_container_layout() {
+    let edges = tmp("net.tsv");
+    let packed = tmp("net.csbn");
+    std::fs::write(&edges, "0 1\n1 2\n2 0\n2 3\n").unwrap();
+    let out = casbn(&["pack", "--in", &edges, "--kind", "graph", "--out", &packed]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let out = casbn(&["inspect", "--in", &packed, "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let doc = stdout(&out);
+    assert!(
+        doc.starts_with('{') && doc.trim_end().ends_with('}'),
+        "{doc}"
+    );
+    for needle in [
+        "\"version\": 1",
+        "\"format_version\": 1",
+        "\"layout\": \"base\"",
+        "\"lazy\": true",
+        "\"kind\": \"graph\"",
+        "\"checksum\": \"0x",
+        // inspect opens lazily and never touches the payload
+        "\"verified\": false",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in {doc}");
+    }
+
+    // the human table is unchanged and stays on stdout
+    let out = casbn(&["inspect", "--in", &packed]);
+    assert!(stdout(&out).contains("container       .csbn v1"));
+
+    // --json plus --metrics keeps the layout document alone on stdout
+    let mpath = tmp("inspect.metrics.json");
+    let out = casbn(&["inspect", "--in", &packed, "--json", "--metrics", &mpath]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&out), doc, "metrics must not disturb stdout");
+    let metrics = std::fs::read_to_string(&mpath).unwrap();
+    assert!(metrics.contains("store.open_lazy"), "{metrics}");
+}

@@ -64,18 +64,19 @@ fn pack_verify_inspect_and_consume_a_graph_container() {
     assert!(text.contains("graph"), "{text}");
     assert!(text.contains("checksum 0x"), "{text}");
 
-    // stats auto-detects the container and reports its metadata plus
-    // the usual graph statistics
+    // stats auto-detects the container and reports its metadata on
+    // stderr alongside the usual graph statistics on stdout
     let out = casbn(&["stats", "--in", &packed]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let diag = stderr(&out);
+    assert!(diag.contains("container       .csbn v1"), "{diag}");
+    assert!(diag.contains("creator \"casbn "), "{diag}");
     let text = stdout(&out);
-    assert!(text.contains("container       .csbn v1"), "{text}");
-    assert!(text.contains("creator \"casbn "), "{text}");
     assert!(text.contains("vertices        15"), "{text}");
     assert!(text.contains("edges           33"), "{text}");
     // …while the text input gets no container block
     let out = casbn(&["stats", "--in", &edges]);
-    assert!(!stdout(&out).contains("container"), "{}", stdout(&out));
+    assert!(!stderr(&out).contains("container"), "{}", stderr(&out));
 
     // cluster and filter accept the container transparently and agree
     // with the text path
@@ -197,9 +198,11 @@ fn packed_replay_streams_identically_to_text_replay() {
     assert_eq!(a.status.code(), Some(0), "{}", stderr(&a));
     assert_eq!(b.status.code(), Some(0), "{}", stderr(&b));
     // wall-clock fields are nondeterministic; everything else must match
+    // (catches both Duration's {"secs","nanos"} pairs and the summary's
+    // wall_*_nanos percentile fields)
     let strip_wall = |s: &str| -> String {
         s.lines()
-            .filter(|l| !l.contains("\"nanos\"") && !l.contains("\"secs\""))
+            .filter(|l| !l.contains("nanos") && !l.contains("\"secs\""))
             .collect::<Vec<_>>()
             .join("\n")
     };
@@ -269,7 +272,7 @@ fn stream_checkpoint_resume_reproduces_the_uninterrupted_checksum() {
         stderr(&out)
     );
     assert!(
-        stdout(&out)
+        stderr(&out)
             .lines()
             .filter(|l| l.starts_with(char::is_numeric))
             .count()

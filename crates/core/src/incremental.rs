@@ -258,6 +258,10 @@ impl IncrementalChordal {
         self.clock.charge_ops(&self.cost, ops);
         stats.ops = ops;
         stats.sim_seconds = self.clock.now() - before;
+        casbn_obs::counter_inc("inc_chordal.batches");
+        casbn_obs::counter_add("inc_chordal.inserted", stats.inserted as u64);
+        casbn_obs::counter_add("inc_chordal.rejected", stats.rejected as u64);
+        casbn_obs::counter_add("inc_chordal.removed", stats.removed as u64);
         stats
     }
 
@@ -296,6 +300,9 @@ impl IncrementalChordal {
                 }
             }
         }
+        casbn_obs::counter_inc("inc_chordal.admissibility_tests");
+        // queue length = BFS vertices visited (including at early exit)
+        casbn_obs::record_hist("inc_chordal.bfs_visited", queue.len() as u64);
         nb.stack = queue;
         admissible
     }
@@ -378,6 +385,8 @@ impl IncrementalChordal {
         for (lu, lv) in r.graph.edges() {
             self.h.add_edge(region[lu as usize], region[lv as usize]);
         }
+        casbn_obs::counter_inc("inc_chordal.regions_rebuilt");
+        casbn_obs::counter_add("inc_chordal.rebuild_vertices", region.len() as u64);
         region.len()
     }
 }

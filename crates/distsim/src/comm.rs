@@ -41,6 +41,23 @@ pub struct RankCtx {
     shared: Arc<Shared>,
 }
 
+/// Static telemetry key for per-rank charged ops (counter keys must be
+/// `&'static str`; simulated runs use small rank counts, so ranks past
+/// 7 share a bucket).
+fn rank_ops_key(rank: usize) -> &'static str {
+    const KEYS: [&str; 8] = [
+        "distsim.rank0.ops",
+        "distsim.rank1.ops",
+        "distsim.rank2.ops",
+        "distsim.rank3.ops",
+        "distsim.rank4.ops",
+        "distsim.rank5.ops",
+        "distsim.rank6.ops",
+        "distsim.rank7.ops",
+    ];
+    KEYS.get(rank).copied().unwrap_or("distsim.rank8plus.ops")
+}
+
 impl RankCtx {
     /// This rank's id in `0..nranks`.
     #[inline]
@@ -63,6 +80,7 @@ impl RankCtx {
     /// Charge `ops` abstract compute operations to this rank's clock.
     #[inline]
     pub fn compute(&mut self, ops: u64) {
+        casbn_obs::counter_add(rank_ops_key(self.rank), ops);
         self.clock.charge_ops(&self.shared.model, ops);
     }
 

@@ -62,6 +62,7 @@ impl SimClock {
     /// Charge `ops` compute operations under `model`.
     #[inline]
     pub fn charge_ops(&mut self, model: &CostModel, ops: u64) {
+        casbn_obs::counter_add("distsim.ops", ops);
         self.now += model.seconds_per_op * ops as f64;
     }
 

@@ -136,6 +136,7 @@ impl CorrelationNetwork {
                 let rows = bi * tile..((bi + 1) * tile).min(genes);
                 let cols_end = ((bj + 1) * tile).min(genes);
                 let mut chunk = TileChunk::new();
+                let mut pairs = 0u64;
                 for i in rows {
                     let cols_start = (bj * tile).max(i + 1);
                     for j in cols_start..cols_end {
@@ -144,7 +145,13 @@ impl CorrelationNetwork {
                             chunk.push(((i as u32, j as u32), rho));
                         }
                     }
+                    pairs += cols_end.saturating_sub(cols_start) as u64;
                 }
+                // tile totals are a function of the tiling alone, so the
+                // counters are thread-count-invariant
+                casbn_obs::counter_inc("expr.tiles");
+                casbn_obs::counter_add("expr.tile_pairs", pairs);
+                casbn_obs::counter_add("expr.edges_retained", chunk.len() as u64);
                 chunk
             })
             .collect();

@@ -50,8 +50,10 @@ pub const GALLOP_RATIO: usize = 32;
 pub fn intersect_for_each(a: &[VertexId], b: &[VertexId], mut f: impl FnMut(VertexId)) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.len() * GALLOP_RATIO <= large.len() {
+        casbn_obs::counter_inc("nbhood.intersect_gallop");
         intersect_gallop_for_each(small, large, &mut f);
     } else {
+        casbn_obs::counter_inc("nbhood.intersect_merge");
         intersect_merge_for_each(small, large, &mut f);
     }
 }
@@ -127,6 +129,7 @@ pub fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
         return false;
     }
     if a.len() * GALLOP_RATIO <= b.len() {
+        casbn_obs::counter_inc("nbhood.subset_gallop");
         let mut base = 0usize;
         for &x in a {
             if base >= b.len() {
@@ -144,6 +147,7 @@ pub fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
         }
         return true;
     }
+    casbn_obs::counter_inc("nbhood.subset_merge");
     let mut j = 0usize;
     for &x in a {
         while j < b.len() && b[j] < x {
@@ -207,6 +211,7 @@ impl NeighborhoodScratch {
         if self.bits.len() < words {
             self.bits.resize(words, 0);
         }
+        casbn_obs::record_max("nbhood.scratch_capacity", self.mark.len() as u64);
     }
 
     /// Start a fresh mark epoch: every vertex becomes unmarked in `O(1)`
@@ -273,6 +278,7 @@ impl NeighborhoodScratch {
     /// one materialisation serves many probe lists.
     #[inline]
     pub fn intersect_bitset_for_each(&self, list: &[VertexId], mut f: impl FnMut(VertexId)) {
+        casbn_obs::counter_inc("nbhood.intersect_bitset");
         for &v in list {
             if self.bitset_contains(v) {
                 f(v);

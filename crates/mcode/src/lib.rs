@@ -182,6 +182,8 @@ impl McodeScratch {
             }
         }
         // Batagelj–Zaveršnik bucket peel over the local ids
+        casbn_obs::counter_inc("mcode.peels");
+        casbn_obs::counter_add("mcode.peel_vertices", d as u64);
         let (k, core_size, core_edges2) = self.peel_highest_core(d);
         if k == 0 {
             return 0.0;
@@ -368,6 +370,8 @@ pub fn mcode_cluster_into(
 
     scratch.order = order;
     scratch.weights = weights;
+    casbn_obs::counter_inc("mcode.runs");
+    casbn_obs::counter_add("mcode.clusters", out.len() as u64);
 }
 
 /// BFS outward from the seed into `scratch.members`, admitting vertices
@@ -400,6 +404,7 @@ fn grow_complex(g: &Graph, w: &[f64], seed: VertexId, params: &McodeParams, s: &
 /// (in `scratch.members`, ping-ponging through `scratch.keep`).
 fn haircut(g: &Graph, s: &mut McodeScratch) {
     loop {
+        casbn_obs::counter_inc("mcode.haircut_rounds");
         s.nb.load_marks(&s.members);
         s.keep.clear();
         for &v in &s.members {

@@ -1,0 +1,197 @@
+//! A minimal, dependency-free JSON writer with the store's `Enc`
+//! discipline: every emission is explicit, nesting is tracked on a
+//! stack, and [`JsonWriter::finish`] asserts the document closed
+//! balanced — malformed output is a bug caught at the write site, not
+//! downstream. Shared by the metrics snapshot codec and
+//! `casbn inspect --json`.
+
+/// Incremental pretty-printing JSON writer.
+///
+/// The writer owns its output buffer; containers are opened and closed
+/// explicitly and a key must precede every value inside an object.
+/// Two-space indentation, `\n` line endings, keys in emission order —
+/// callers that need canonical output (the deterministic metrics
+/// snapshot) emit from sorted maps.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `(is_array, has_elements)`.
+    stack: Vec<(bool, bool)>,
+    /// A key was just written; the next value continues its line.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Fresh writer with an empty buffer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Newline + indent, with a separating comma when the enclosing
+    /// container already holds elements; no-op right after a key.
+    fn element(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some((_, has)) = self.stack.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Close-brace placement: newline + indent to the parent level when
+    /// the container emitted anything.
+    fn closing(&mut self, had: bool) {
+        if had {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.element();
+        self.out.push('{');
+        self.stack.push((false, false));
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        let (is_array, had) = self.stack.pop().expect("end_object with no open container");
+        assert!(!is_array, "end_object closing an array");
+        self.closing(had);
+        self.out.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.element();
+        self.out.push('[');
+        self.stack.push((true, false));
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        let (is_array, had) = self.stack.pop().expect("end_array with no open container");
+        assert!(is_array, "end_array closing an object");
+        self.closing(had);
+        self.out.push(']');
+    }
+
+    /// Object key; the next emission is its value.
+    pub fn key(&mut self, key: &str) {
+        let (is_array, _) = *self.stack.last().expect("key outside an object");
+        assert!(!is_array, "key inside an array");
+        assert!(!self.pending_key, "two keys in a row");
+        self.element();
+        write_escaped(&mut self.out, key);
+        self.out.push_str(": ");
+        self.pending_key = true;
+    }
+
+    /// Unsigned integer value. Callers hex-encode values that may
+    /// exceed 2^53 (e.g. checksums) as strings instead.
+    pub fn value_u64(&mut self, v: u64) {
+        self.element();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// String value, escaped.
+    pub fn value_str(&mut self, v: &str) {
+        self.element();
+        write_escaped(&mut self.out, v);
+    }
+
+    /// Boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.element();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Close out the document: asserts every container was closed and a
+    /// trailing newline ends the buffer.
+    pub fn finish(mut self) -> String {
+        assert!(self.stack.is_empty(), "unclosed container at finish");
+        assert!(!self.pending_key, "dangling key at finish");
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// Append `s` to `out` as a quoted JSON string.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_is_balanced_and_pretty() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("version");
+        w.value_u64(1);
+        w.key("empty");
+        w.begin_object();
+        w.end_object();
+        w.key("list");
+        w.begin_array();
+        w.value_u64(2);
+        w.value_str("three");
+        w.value_bool(true);
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\n  \"version\": 1,\n  \"empty\": {},\n  \"list\": [\n    2,\n    \"three\",\n    true\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("k\"ey");
+        w.value_str("a\\b\nc\u{1}");
+        w.end_object();
+        let text = w.finish();
+        assert!(
+            text.contains("\"k\\\"ey\": \"a\\\\b\\nc\\u0001\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed container")]
+    fn unbalanced_document_panics_at_finish() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+}

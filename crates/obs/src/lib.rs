@@ -1,0 +1,721 @@
+//! Deterministic telemetry for the CASBN pipeline: sharded counters,
+//! log₂ histograms, high-water maxima and RAII span timers, snapshotted
+//! into a versioned JSON document.
+//!
+//! # Field taxonomy
+//!
+//! Every recorded quantity is either **deterministic** or **wall**:
+//!
+//! * *deterministic* fields count work that is invariant under thread
+//!   count and scheduling — tiles computed, co-moment updates,
+//!   intersection path selections, bytes read, simulated nanoseconds.
+//!   They are plain `u64` sums (or maxima), so shard merge order cannot
+//!   change them: a snapshot is bit-identical across 1/2/4/8 rayon
+//!   threads and can be pinned in CI next to a stream checksum.
+//! * *wall* fields are host timings (span nanoseconds, wall
+//!   histograms). They are reported for humans and **excluded from
+//!   every determinism comparison** — [`Snapshot::deterministic_json`]
+//!   never contains them.
+//!
+//! # Overhead policy
+//!
+//! Telemetry is off by default. Every recording call starts with one
+//! relaxed atomic load and an `#[inline]` early return, so a disabled
+//! binary pays a branch, allocates nothing, and charges zero simulated
+//! time (the perf-baseline self-diff pins this). Enabled recording
+//! writes to a per-thread shard behind an uncontended mutex and reaches
+//! a zero-allocation steady state: keys are `&'static str`, so a shard
+//! map stops allocating once every key it will ever see has been
+//! inserted (`tests/alloc_regression.rs` proves it on the DSW/MCODE
+//! paths).
+//!
+//! # Snapshot codec
+//!
+//! [`snapshot`] merges all shards in sorted key order into a
+//! [`Snapshot`]; [`Snapshot::to_json`] emits a versioned document
+//! through the balance-asserting [`json::JsonWriter`] — the store's
+//! `Enc` discipline applied to text. Deterministic comparisons use the
+//! canonical [`Snapshot::deterministic_json`] form, byte for byte, the
+//! way the golden `.csbn` fixture is compared.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod json;
+
+use json::JsonWriter;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Version stamped into every JSON snapshot (`"version": …`).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `b ≥
+/// 1` holds values with `floor(log2 v) = b - 1`, up to `u64::MAX` in
+/// bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Global enable flag. Relaxed ordering suffices: recordings are
+/// per-thread and [`snapshot`] synchronises through the shard mutexes.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off; returns the previous state so callers can
+/// restore it (the bench harness brackets its instrumented passes this
+/// way).
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// One thread's private metric maps. Keys are `&'static str` so the
+/// steady state allocates nothing once every key has been seen.
+#[derive(Debug, Default)]
+struct ShardData {
+    counters: HashMap<&'static str, u64>,
+    maxima: HashMap<&'static str, u64>,
+    hists: HashMap<&'static str, Hist>,
+    wall_hists: HashMap<&'static str, Hist>,
+    spans: HashMap<&'static str, SpanAgg>,
+}
+
+impl ShardData {
+    fn clear(&mut self) {
+        // `clear`, not re-allocation: capacity ratchets so the shard
+        // stays allocation-free across reset/enable cycles
+        self.counters.clear();
+        self.maxima.clear();
+        self.hists.clear();
+        self.wall_hists.clear();
+        self.spans.clear();
+    }
+}
+
+/// The global shard registry. `shards` owns every shard ever created
+/// (snapshots walk it); `free` pools shards whose thread exited, for
+/// reuse by the next thread — scoped-thread churn (the rayon shim
+/// spawns fresh threads per parallel call) therefore cannot grow the
+/// registry without bound.
+struct Registry {
+    shards: Mutex<Vec<Arc<Mutex<ShardData>>>>,
+    free: Mutex<Vec<Arc<Mutex<ShardData>>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
+    })
+}
+
+/// TLS handle: acquires a pooled shard on first touch, returns it to
+/// the pool on thread exit (the registry keeps the data for snapshots).
+struct ShardHandle(Arc<Mutex<ShardData>>);
+
+impl ShardHandle {
+    fn acquire() -> ShardHandle {
+        let reg = registry();
+        let pooled = reg.free.lock().unwrap().pop();
+        match pooled {
+            Some(arc) => ShardHandle(arc),
+            None => {
+                let arc = Arc::new(Mutex::new(ShardData::default()));
+                reg.shards.lock().unwrap().push(Arc::clone(&arc));
+                ShardHandle(arc)
+            }
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        registry().free.lock().unwrap().push(Arc::clone(&self.0));
+    }
+}
+
+thread_local! {
+    static SHARD: ShardHandle = ShardHandle::acquire();
+}
+
+/// Run `f` on this thread's shard. Recording during thread teardown
+/// (after the TLS handle dropped) is silently skipped.
+fn with_shard(f: impl FnOnce(&mut ShardData)) {
+    let _ = SHARD.try_with(|h| f(&mut h.0.lock().unwrap()));
+}
+
+/// Add `n` to counter `key`. No-op when disabled.
+#[inline]
+pub fn counter_add(key: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        let c = s.counters.entry(key).or_insert(0);
+        *c = c.wrapping_add(n);
+    });
+}
+
+/// Add 1 to counter `key`. No-op when disabled.
+#[inline]
+pub fn counter_inc(key: &'static str) {
+    counter_add(key, 1);
+}
+
+/// Raise high-water mark `key` to at least `v`. No-op when disabled.
+#[inline]
+pub fn record_max(key: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        let m = s.maxima.entry(key).or_insert(0);
+        *m = (*m).max(v);
+    });
+}
+
+/// Record `v` into the deterministic log₂ histogram `key`. No-op when
+/// disabled.
+#[inline]
+pub fn record_hist(key: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| s.hists.entry(key).or_default().record(v));
+}
+
+/// Record a wall measurement `v` (nanoseconds) into histogram `key`.
+/// Kept apart from [`record_hist`] so determinism checks can exclude
+/// it. No-op when disabled.
+#[inline]
+pub fn record_wall_hist(key: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| s.wall_hists.entry(key).or_default().record(v));
+}
+
+/// A log₂-bucketed histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    /// Bucket `0` counts zeros; bucket `b ≥ 1` counts values with
+    /// `floor(log2 v) = b - 1`.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// Bucket index of `v`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Hist::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in (shard merge). Commutative and
+    /// associative, so merge order cannot change the result.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `min` with the empty-histogram sentinel mapped to 0 for display.
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// Aggregated fields of one span key. `count` through `sim_nanos` are
+/// deterministic work fields; `wall_nanos` is the wall field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Spans recorded under this key.
+    pub count: u64,
+    /// Deterministic: items processed.
+    pub items: u64,
+    /// Deterministic: abstract operations performed.
+    pub ops: u64,
+    /// Deterministic: bytes touched.
+    pub bytes: u64,
+    /// Deterministic: simulated nanoseconds charged.
+    pub sim_nanos: u64,
+    /// Wall: host nanoseconds elapsed (excluded from determinism).
+    pub wall_nanos: u64,
+}
+
+/// RAII span timer. [`Span::enter`] starts the wall clock when
+/// telemetry is enabled; dropping the span folds its deterministic
+/// work fields and the elapsed wall nanoseconds into the thread shard.
+/// Disabled, the whole lifecycle is a branch — no clock read, no
+/// allocation, no recording.
+#[derive(Debug)]
+pub struct Span {
+    key: &'static str,
+    /// `None` when telemetry was disabled at entry: the drop is a no-op
+    /// even if telemetry is enabled mid-span.
+    start: Option<Instant>,
+    items: u64,
+    ops: u64,
+    bytes: u64,
+    sim_nanos: u64,
+}
+
+impl Span {
+    /// Open a span under `key`.
+    #[inline]
+    pub fn enter(key: &'static str) -> Span {
+        let start = if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            key,
+            start,
+            items: 0,
+            ops: 0,
+            bytes: 0,
+            sim_nanos: 0,
+        }
+    }
+
+    /// Add processed items to this span's deterministic work.
+    #[inline]
+    pub fn add_items(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.items = self.items.wrapping_add(n);
+        }
+    }
+
+    /// Add abstract operations to this span's deterministic work.
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.ops = self.ops.wrapping_add(n);
+        }
+    }
+
+    /// Add touched bytes to this span's deterministic work.
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.bytes = self.bytes.wrapping_add(n);
+        }
+    }
+
+    /// Add simulated nanoseconds to this span's deterministic work.
+    #[inline]
+    pub fn add_sim_nanos(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.sim_nanos = self.sim_nanos.wrapping_add(n);
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let wall = start.elapsed().as_nanos() as u64;
+        with_shard(|s| {
+            let agg = s.spans.entry(self.key).or_default();
+            agg.count += 1;
+            agg.items = agg.items.wrapping_add(self.items);
+            agg.ops = agg.ops.wrapping_add(self.ops);
+            agg.bytes = agg.bytes.wrapping_add(self.bytes);
+            agg.sim_nanos = agg.sim_nanos.wrapping_add(self.sim_nanos);
+            agg.wall_nanos = agg.wall_nanos.wrapping_add(wall);
+        });
+    }
+}
+
+/// A point-in-time merge of every shard, keys sorted.
+///
+/// All fields except [`Snapshot::wall_hists`] and each span's
+/// `wall_nanos` are deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Deterministic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic high-water maxima.
+    pub maxima: BTreeMap<String, u64>,
+    /// Deterministic histograms.
+    pub hists: BTreeMap<String, Hist>,
+    /// Wall histograms (excluded from determinism checks).
+    pub wall_hists: BTreeMap<String, Hist>,
+    /// Span aggregates (deterministic fields plus `wall_nanos`).
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+/// Merge every shard (live and pooled alike — the registry owns both)
+/// into a [`Snapshot`]. Counters and span work fields merge by `u64`
+/// sum, maxima by max, histograms bucket-wise: all commutative, so the
+/// result is independent of shard count and merge order.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    let shards = registry().shards.lock().unwrap();
+    for shard in shards.iter() {
+        let s = shard.lock().unwrap();
+        for (&k, &v) in &s.counters {
+            let c = snap.counters.entry(k.to_string()).or_insert(0);
+            *c = c.wrapping_add(v);
+        }
+        for (&k, &v) in &s.maxima {
+            let m = snap.maxima.entry(k.to_string()).or_insert(0);
+            *m = (*m).max(v);
+        }
+        for (&k, h) in &s.hists {
+            snap.hists.entry(k.to_string()).or_default().merge(h);
+        }
+        for (&k, h) in &s.wall_hists {
+            snap.wall_hists.entry(k.to_string()).or_default().merge(h);
+        }
+        for (&k, a) in &s.spans {
+            let agg = snap.spans.entry(k.to_string()).or_default();
+            agg.count += a.count;
+            agg.items = agg.items.wrapping_add(a.items);
+            agg.ops = agg.ops.wrapping_add(a.ops);
+            agg.bytes = agg.bytes.wrapping_add(a.bytes);
+            agg.sim_nanos = agg.sim_nanos.wrapping_add(a.sim_nanos);
+            agg.wall_nanos = agg.wall_nanos.wrapping_add(a.wall_nanos);
+        }
+    }
+    snap
+}
+
+/// Clear every shard's metrics (capacities are kept). The enable flag
+/// is untouched.
+pub fn reset() {
+    let shards = registry().shards.lock().unwrap();
+    for shard in shards.iter() {
+        shard.lock().unwrap().clear();
+    }
+}
+
+/// Emit `hist` under the already-written key position of `w`.
+fn hist_json(w: &mut JsonWriter, h: &Hist) {
+    w.begin_object();
+    w.key("count");
+    w.value_u64(h.count);
+    w.key("sum");
+    w.value_u64(h.sum);
+    w.key("min");
+    w.value_u64(h.min_or_zero());
+    w.key("max");
+    w.value_u64(h.max);
+    // sparse [bucket, count] pairs: most of the 65 buckets are empty
+    w.key("buckets");
+    w.begin_array();
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        w.begin_array();
+        w.value_u64(i as u64);
+        w.value_u64(c);
+        w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+impl Snapshot {
+    /// Write the deterministic section (counters, maxima, histograms,
+    /// span work fields) into an open object of `w`.
+    fn deterministic_into(&self, w: &mut JsonWriter) {
+        w.key("deterministic");
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, &v) in &self.counters {
+            w.key(k);
+            w.value_u64(v);
+        }
+        w.end_object();
+        w.key("maxima");
+        w.begin_object();
+        for (k, &v) in &self.maxima {
+            w.key(k);
+            w.value_u64(v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in &self.hists {
+            w.key(k);
+            hist_json(w, h);
+        }
+        w.end_object();
+        w.key("spans");
+        w.begin_object();
+        for (k, a) in &self.spans {
+            w.key(k);
+            w.begin_object();
+            w.key("count");
+            w.value_u64(a.count);
+            w.key("items");
+            w.value_u64(a.items);
+            w.key("ops");
+            w.value_u64(a.ops);
+            w.key("bytes");
+            w.value_u64(a.bytes);
+            w.key("sim_nanos");
+            w.value_u64(a.sim_nanos);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    /// Full versioned snapshot document: the deterministic section
+    /// followed by a `"wall"` section (span nanoseconds, wall
+    /// histograms) that determinism checks must ignore.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("version");
+        w.value_u64(SNAPSHOT_VERSION as u64);
+        self.deterministic_into(&mut w);
+        w.key("wall");
+        w.begin_object();
+        w.key("spans");
+        w.begin_object();
+        for (k, a) in &self.spans {
+            w.key(k);
+            w.begin_object();
+            w.key("nanos");
+            w.value_u64(a.wall_nanos);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in &self.wall_hists {
+            w.key(k);
+            hist_json(&mut w, h);
+        }
+        w.end_object();
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Canonical deterministic form: the versioned document **without**
+    /// any wall field. Two runs doing the same work produce this text
+    /// byte-identically regardless of thread count — it is what the
+    /// determinism tests and the CI metrics-smoke fixture compare.
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("version");
+        w.value_u64(SNAPSHOT_VERSION as u64);
+        self.deterministic_into(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Human-readable summary table (the `--metrics -` output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty()
+            && self.maxima.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+            && self.wall_hists.is_empty()
+        {
+            out.push_str("no metrics recorded\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<40} {v:>14}\n"));
+            }
+        }
+        if !self.maxima.is_empty() {
+            out.push_str("maxima\n");
+            for (k, v) in &self.maxima {
+                out.push_str(&format!("  {k:<40} {v:>14}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms\n");
+            for (k, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {k:<40} count {} sum {} min {} max {}\n",
+                    h.count,
+                    h.sum,
+                    h.min_or_zero(),
+                    h.max
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (wall nanos excluded from determinism)\n");
+            for (k, a) in &self.spans {
+                out.push_str(&format!(
+                    "  {k:<40} count {} items {} ops {} bytes {} sim_nanos {} wall_nanos {}\n",
+                    a.count, a.items, a.ops, a.bytes, a.sim_nanos, a.wall_nanos
+                ));
+            }
+        }
+        if !self.wall_hists.is_empty() {
+            out.push_str("wall histograms (excluded from determinism)\n");
+            for (k, h) in &self.wall_hists {
+                out.push_str(&format!(
+                    "  {k:<40} count {} min {} max {}\n",
+                    h.count,
+                    h.min_or_zero(),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// Per-key counter growth since `before`, sorted by key — the
+    /// work-count record `casbn bench` attaches to each workload.
+    pub fn counter_delta(&self, before: &Snapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let prior = before.counters.get(k).copied().unwrap_or(0);
+                (v != prior).then(|| (k.clone(), v.wrapping_sub(prior)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests that record must not
+    /// run concurrently; one test exercises every surface.
+    #[test]
+    fn record_snapshot_reset_roundtrip_and_merge_determinism() {
+        // disabled: nothing records
+        assert!(!enabled());
+        counter_add("t.off", 5);
+        record_max("t.off", 5);
+        record_hist("t.off", 5);
+        {
+            let mut sp = Span::enter("t.off");
+            sp.add_items(1);
+        }
+        assert!(!snapshot().counters.contains_key("t.off"));
+
+        // enabled: multi-threaded recording merges deterministically
+        let prior = set_enabled(true);
+        reset();
+        counter_add("t.main", 2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..100u64 {
+                        counter_add("t.shared", 1);
+                        record_max("t.peak", i);
+                        record_hist("t.sizes", i);
+                    }
+                    let mut sp = Span::enter("t.span");
+                    sp.add_items(10);
+                    sp.add_ops(20);
+                    sp.add_bytes(30);
+                    sp.add_sim_nanos(40);
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.main"], 2);
+        assert_eq!(snap.counters["t.shared"], 400);
+        assert_eq!(snap.maxima["t.peak"], 99);
+        let h = &snap.hists["t.sizes"];
+        assert_eq!(h.count, 400);
+        assert_eq!(h.sum, 4 * (99 * 100 / 2));
+        assert_eq!(h.min_or_zero(), 0);
+        assert_eq!(h.max, 99);
+        assert_eq!(h.buckets[0], 4); // the four zeros
+        assert_eq!(h.buckets.iter().sum::<u64>(), 400);
+        let a = &snap.spans["t.span"];
+        assert_eq!(
+            (a.count, a.items, a.ops, a.bytes, a.sim_nanos),
+            (4, 40, 80, 120, 160)
+        );
+
+        // the JSON split: work fields deterministic, wall fields not
+        let det = snap.deterministic_json();
+        assert!(det.contains("\"t.shared\": 400"), "{det}");
+        assert!(det.contains("\"sim_nanos\": 160"), "{det}");
+        assert!(!det.contains("wall"), "{det}");
+        let full = snap.to_json();
+        assert!(full.contains("\"wall\""), "{full}");
+        assert!(full.contains("\"nanos\""), "{full}");
+        let table = snap.render_table();
+        assert!(table.contains("t.shared"), "{table}");
+
+        // counter deltas
+        counter_add("t.shared", 7);
+        let delta = snapshot().counter_delta(&snap);
+        assert_eq!(delta, vec![("t.shared".to_string(), 7)]);
+
+        // reset clears data
+        reset();
+        let empty = snapshot();
+        assert!(empty.counters.is_empty());
+        assert_eq!(empty.render_table(), "no metrics recorded\n");
+        set_enabled(prior);
+    }
+
+    #[test]
+    fn hist_bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+    }
+}

@@ -10,6 +10,21 @@ use crate::{
 };
 use std::sync::OnceLock;
 
+/// Static telemetry key for bytes served per section kind (counter keys
+/// are `&'static str`, so the wire kind maps through a fixed table).
+fn bytes_counter_key(kind: u32) -> &'static str {
+    match SectionKind::name_of(kind) {
+        "graph" => "store.bytes.graph",
+        "matrix" => "store.bytes.matrix",
+        "clusters" => "store.bytes.clusters",
+        "online-correlation" => "store.bytes.online-correlation",
+        "delta-graph" => "store.bytes.delta-graph",
+        "chordal-state" => "store.bytes.chordal-state",
+        "driver-state" => "store.bytes.driver-state",
+        _ => "store.bytes.unknown",
+    }
+}
+
 /// One entry of the parsed section table.
 #[derive(Clone, Copy, Debug)]
 pub struct SectionEntry {
@@ -63,6 +78,7 @@ impl<'a> Store<'a> {
     /// Parse and validate a container, checksumming every payload up
     /// front.
     pub fn parse(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
+        casbn_obs::counter_inc("store.open_eager");
         Store::parse_inner(bytes, true)
     }
 
@@ -73,7 +89,12 @@ impl<'a> Store<'a> {
     /// [`Store::payload_checked`] (memoized, so every section is
     /// checksummed at most once).
     pub fn open_lazy(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
-        Store::parse_inner(bytes, false)
+        casbn_obs::counter_inc("store.open_lazy");
+        let store = Store::parse_inner(bytes, false)?;
+        // every payload's verification is deferred at open; the memoized
+        // first touches below count against this
+        casbn_obs::counter_add("store.checksum_deferred", store.entries.len() as u64);
+        Ok(store)
     }
 
     fn parse_inner(bytes: &'a [u8], eager: bool) -> Result<Store<'a>, StoreError> {
@@ -352,6 +373,7 @@ impl<'a> Store<'a> {
 
     /// Verify section `i`'s payload checksum against its table entry.
     fn check_section_checksum(bytes: &[u8], e: &SectionEntry, i: usize) -> Result<(), StoreError> {
+        casbn_obs::counter_inc("store.checksum_performed");
         let got = fnv1a(&bytes[e.offset..e.offset + e.len]);
         if got != e.checksum {
             return Err(StoreError::ChecksumMismatch {
@@ -442,8 +464,14 @@ impl<'a> Store<'a> {
     pub fn payload_checked(&self, index: usize) -> Result<&'a [u8], StoreError> {
         let e = &self.entries[index];
         let bytes = &self.bytes[e.offset..e.offset + e.len];
+        casbn_obs::counter_add(bytes_counter_key(e.kind), e.len as u64);
         if let Some(memo) = &self.lazy {
-            let got = *memo[index].get_or_init(|| fnv1a(bytes));
+            let got = *memo[index].get_or_init(|| {
+                // inside the init closure, so a memoized re-touch does
+                // not recount
+                casbn_obs::counter_inc("store.checksum_performed");
+                fnv1a(bytes)
+            });
             if got != e.checksum {
                 return Err(StoreError::ChecksumMismatch {
                     section: Some(index),
@@ -453,6 +481,17 @@ impl<'a> Store<'a> {
             }
         }
         Ok(bytes)
+    }
+
+    /// Whether section `index`'s payload checksum has been verified:
+    /// always under [`Store::parse`], on first touch under
+    /// [`Store::open_lazy`].
+    pub fn section_verified(&self, index: usize) -> bool {
+        assert!(index < self.entries.len(), "section index out of range");
+        match &self.lazy {
+            None => true,
+            Some(memo) => memo[index].get().is_some(),
+        }
     }
 
     /// Index of the first section of `kind` (any tag).

@@ -83,6 +83,14 @@ pub struct StreamSummary {
     /// Deterministic checksum over the integer window metrics (FNV-1a);
     /// pinned by CI's streaming smoke gate.
     pub checksum: u64,
+    /// Median per-window wall latency, nanoseconds (nearest-rank over
+    /// the windows; 0 for an empty run). Wall fields are host timings —
+    /// excluded from every determinism comparison.
+    pub wall_p50_nanos: u64,
+    /// 95th-percentile per-window wall latency, nanoseconds.
+    pub wall_p95_nanos: u64,
+    /// Slowest window's wall latency, nanoseconds.
+    pub wall_max_nanos: u64,
 }
 
 impl StreamSummary {
@@ -90,6 +98,16 @@ impl StreamSummary {
     pub fn total_churn(&self) -> usize {
         self.windows.iter().map(|w| w.inserts + w.removes).sum()
     }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of sorted `values`; 0 when
+/// empty.
+fn percentile_nanos(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
 }
 
 /// Incremental streaming pipeline over a growing sample stream.
@@ -171,6 +189,7 @@ impl StreamDriver {
     /// Ingest one window of samples and run the full per-window pipeline.
     pub fn ingest_window(&mut self, batch: &ExpressionMatrix) -> WindowReport {
         let started = Instant::now();
+        let mut span = casbn_obs::Span::enter("stream.window");
         let delta = self.online.ingest(batch);
         self.net.apply(&delta);
         self.chordal.apply(&delta, &self.net);
@@ -213,6 +232,13 @@ impl StreamDriver {
             sim_chordal,
             wall: started.elapsed(),
         };
+        casbn_obs::counter_inc("stream.windows");
+        casbn_obs::counter_add("stream.inserts", report.inserts as u64);
+        casbn_obs::counter_add("stream.removes", report.removes as u64);
+        span.add_items(batch.samples() as u64);
+        span.add_sim_nanos(((sim_ingest + sim_chordal) * 1e9).round() as u64);
+        drop(span);
+        casbn_obs::record_wall_hist("stream.window_wall", report.wall.as_nanos() as u64);
         self.windows.push(report.clone());
         report
     }
@@ -486,13 +512,24 @@ impl StreamDriver {
         h
     }
 
-    /// Finish the run: consume the driver and summarise.
+    /// Finish the run: consume the driver and summarise. The summary's
+    /// wall-latency percentiles are nearest-rank over the per-window
+    /// wall times (wall fields: reported, never compared).
     pub fn finish(self) -> StreamSummary {
         let checksum = self.checksum();
+        let mut walls: Vec<u64> = self
+            .windows
+            .iter()
+            .map(|w| w.wall.as_nanos() as u64)
+            .collect();
+        walls.sort_unstable();
         StreamSummary {
             genes: self.online.genes(),
-            windows: self.windows,
             checksum,
+            wall_p50_nanos: percentile_nanos(&walls, 50),
+            wall_p95_nanos: percentile_nanos(&walls, 95),
+            wall_max_nanos: walls.last().copied().unwrap_or(0),
+            windows: self.windows,
         }
     }
 

@@ -282,12 +282,16 @@ impl OnlineCorrelation {
                 }
             }
             self.work_ops += (genes * k) as u64;
+            // charged at the analytic sites (outside the parallel
+            // region), so the counters are thread-count-invariant
+            casbn_obs::counter_add("stream.moment_updates", (genes * k) as u64);
 
             // phase 2 — tiled co-moment update: Cᵢⱼ += Σₛ dᵢₛ·d₂ⱼₛ with
             // the per-pair sample loop in stream order (bit-identical to
             // the sequential recurrence)
             self.update_comoments(&d, &d2, k);
             self.work_ops += (self.comoment.len() * k) as u64;
+            casbn_obs::counter_add("stream.comoment_updates", (self.comoment.len() * k) as u64);
         }
 
         // phase 3 — re-evaluate the pair triangle and diff against the
@@ -354,6 +358,7 @@ impl OnlineCorrelation {
         let genes = self.genes;
         let pairs = self.comoment.len();
         self.work_ops += pairs as u64;
+        casbn_obs::counter_add("stream.scan_pairs", pairs as u64);
         let n = self.samples;
         let params = self.params;
         let sd: Vec<f64> = self.m2.iter().map(|&m| m.sqrt()).collect();

@@ -24,6 +24,9 @@
 //! * [`fuzz`] — deterministic structure-aware fuzzing and
 //!   differential-oracle harness over every input surface (driven by
 //!   the `casbn fuzz` subcommand and the CI fuzz-smoke job).
+//! * [`obs`] — deterministic telemetry: sharded counters/histograms,
+//!   RAII spans with a deterministic-vs-wall field split, and versioned
+//!   JSON metric snapshots (surfaced as `casbn <cmd> --metrics`).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@ pub use casbn_expr as expr;
 pub use casbn_fuzz as fuzz;
 pub use casbn_graph as graph;
 pub use casbn_mcode as mcode;
+pub use casbn_obs as obs;
 pub use casbn_ontology as ontology;
 pub use casbn_store as store;
 pub use casbn_stream as stream;

@@ -111,4 +111,51 @@ fn steady_state_dsw_and_mcode_allocate_nothing() {
         mcode_allocs, 0,
         "steady-state MCODE pass allocated {mcode_allocs} times"
     );
+
+    // --- telemetry enabled: instrumented passes reach steady state ---
+    // the first enabled passes materialize this thread's shard and
+    // insert the &'static str counter keys into its maps (allocates);
+    // once every key exists a counter update is a pure HashMap write
+    let prior = casbn::obs::set_enabled(true);
+    assert!(!prior, "telemetry must be disabled by default");
+    let mut dsw_scratch = DswScratch::new(g.n());
+    let mut warmups = 0;
+    loop {
+        let a = allocations_in(|| {
+            maximal_chordal_subgraph_with(
+                &g,
+                ChordalConfig::default(),
+                &mut dsw_scratch,
+                &mut result,
+            );
+            mcode_cluster_into(&g, &params, &mut scratch, &mut clusters);
+        });
+        if a == 0 {
+            break;
+        }
+        warmups += 1;
+        assert!(
+            warmups <= clusters.len() + 4,
+            "instrumented passes failed to reach steady state after {warmups} warm-ups"
+        );
+    }
+    let enabled_allocs = allocations_in(|| {
+        maximal_chordal_subgraph_with(&g, ChordalConfig::default(), &mut dsw_scratch, &mut result);
+        mcode_cluster_into(&g, &params, &mut scratch, &mut clusters);
+    });
+    assert_eq!(
+        enabled_allocs, 0,
+        "enabled-telemetry steady-state pass allocated {enabled_allocs} times"
+    );
+
+    // …and switching telemetry back off keeps the paths allocation-free
+    casbn::obs::set_enabled(false);
+    let disabled_allocs = allocations_in(|| {
+        maximal_chordal_subgraph_with(&g, ChordalConfig::default(), &mut dsw_scratch, &mut result);
+        mcode_cluster_into(&g, &params, &mut scratch, &mut clusters);
+    });
+    assert_eq!(
+        disabled_allocs, 0,
+        "disabled-telemetry steady-state pass allocated {disabled_allocs} times"
+    );
 }

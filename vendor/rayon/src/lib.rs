@@ -14,8 +14,18 @@
 
 use std::ops::Range;
 
-/// Number of worker threads: the machine's available parallelism.
+/// Number of worker threads: `RAYON_NUM_THREADS` when set to a positive
+/// integer (as in real rayon's global pool), else the machine's
+/// available parallelism. Read per call, so tests can vary the thread
+/// count within one process.
 fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
