@@ -11,9 +11,9 @@ use casbn_fuzz::{Execution, FuzzConfig};
 use casbn_graph::io::{read_edge_list, write_edge_list};
 use casbn_graph::{store as graph_store, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, store as mcode_store, Cluster, McodeParams};
+use casbn_store::io::{append_durable, save_atomic, write_atomic, RealFs, RetryPolicy};
 use casbn_store::{is_store_bytes, SectionKind, Store, StoreWriter};
 use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
-use std::fs::File;
 
 /// Help text. Kept in sync with the flags each subcommand actually parses;
 /// `cli_help` tests assert every flag below is real and every parsed flag is
@@ -35,10 +35,10 @@ USAGE:
   casbn stream   (--preset P [--scale F] [--samples N] | --in FILE)
                  [--batch N] [--min-rho F] [--min-score F] [--json]
                  [--out FILE] [--replay-out FILE] [--expect-checksum N]
-                 [--checkpoint FILE] [--resume FILE] [--windows N]
-                 [--metrics FILE|-]
+                 [--checkpoint FILE] [--resume FILE [--degraded]]
+                 [--windows N] [--io-retries N] [--metrics FILE|-]
   casbn pack     --in FILE --kind graph|replay|clusters --out FILE
-  casbn inspect  --in FILE [--json] [--metrics FILE|-]
+  casbn inspect  --in FILE [--json] [--degraded] [--metrics FILE|-]
   casbn verify   --in FILE [--metrics FILE|-]
   casbn fuzz     [--target T|all] [--iters N] [--seed N] [--corpus DIR]
                  [--minimize FILE]
@@ -95,11 +95,20 @@ FLAGS:
                continue the replay exactly where it stopped
   --windows    `stream`: ingest at most N windows this run (pair with
                --checkpoint to suspend a long replay mid-stream)
+  --degraded   best-effort open of a damaged container: a torn tail
+               falls back to the newest fully valid generation and
+               checksum-failing sections are quarantined (`stream
+               --resume` continues from what survives with a stderr
+               warning; `inspect` reports the damage)
+  --io-retries transient I/O (EINTR/EAGAIN) retry budget per write
+               operation for this run's artifacts (default 4; retries
+               are deterministic — counted in the io.retries metric,
+               never wall-clock backoff)
   --kind       what `pack` reads from --in: graph (edge list), replay
                (sample-major matrix), clusters (cluster --json output)
   --target     `fuzz` input surface: edge-list | replay | csbn |
-               csbn-lazy | csbn-append | checkpoint-resume | cli-argv |
-               all (default all)
+               csbn-lazy | csbn-append | csbn-crash | checkpoint-resume |
+               cli-argv | all (default all)
   --iters      `fuzz` iterations per target (default 1000)
   --corpus     `fuzz` corpus directory: DIR/<target>/ files replay as a
                regression suite, and new crashers are written back there
@@ -177,8 +186,8 @@ USAGE:
   casbn stream (--preset yng|mid|unt|cre [--scale F] [--samples N] | --in FILE)
                [--batch N] [--min-rho F] [--min-score F] [--json]
                [--out FILE] [--replay-out FILE] [--expect-checksum N]
-               [--checkpoint FILE] [--resume FILE] [--windows N]
-               [--metrics FILE|-]
+               [--checkpoint FILE] [--resume FILE [--degraded]]
+               [--windows N] [--io-retries N] [--metrics FILE|-]
 
 FLAGS:
   --preset     synthesize the replay from a dataset preset's calibrated
@@ -198,14 +207,22 @@ FLAGS:
   --replay-out write the synthesized replay to FILE and continue
   --expect-checksum
                exit 1 unless the deterministic checksum matches N
-  --checkpoint write a resumable .csbn checkpoint to FILE after the run;
-               if FILE already holds a .csbn container the new state is
-               appended under a superseding table (earlier generations
-               stay recoverable by truncating the file)
+  --checkpoint write a resumable .csbn checkpoint to FILE after the run.
+               A fresh FILE is written atomically (tmp + fsync + rename);
+               when FILE already holds a .csbn container the new state
+               is appended *in place* as a durable generation — payloads
+               and table are fsynced before the committing footer, so a
+               crash at any write leaves the previous generation intact
   --resume     restore state from a checkpoint FILE and continue (the
                batch size and thresholds come from the checkpoint, so
                --batch/--min-rho/--min-score are rejected here)
+  --degraded   with --resume: if FILE is torn or bit-rotted, fall back
+               to its newest fully valid generation (stderr warning)
+               instead of refusing to resume
   --windows    ingest at most N windows this run (default: no limit)
+  --io-retries transient I/O (EINTR/EAGAIN) retry budget per write
+               operation (default 4; deterministic, no wall-clock
+               backoff — retries land in the io.retries metric)
   --metrics    write the run's telemetry snapshot to FILE as JSON
                (`-` prints a human table to stderr); the summary also
                reports per-window wall p50/p95/max
@@ -233,8 +250,8 @@ USAGE:
 
 FLAGS:
   --target     one of edge-list | replay | csbn | csbn-lazy |
-               csbn-append | checkpoint-resume | cli-argv, or all
-               (default all)
+               csbn-append | csbn-crash | checkpoint-resume | cli-argv,
+               or all (default all)
   --iters      fuzzing iterations per target (default 1000)
   --seed       campaign seed; equal seeds give identical iteration
                traces (default 0)
@@ -251,6 +268,27 @@ Exit codes: 0 clean, 1 crashes found, 2 usage error.
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     2
+}
+
+/// Route an artifact write through the crash-safe I/O layer: the bytes
+/// land in `path.tmp`, are fsynced, renamed over `path`, and the parent
+/// directory entry is fsynced — a kill at any instant leaves either the
+/// old file or the complete new one on disk, never a torn mix. Every
+/// CLI artifact write funnels through here (or through the store's
+/// [`save_atomic`]/[`append_durable`] for `.csbn` containers).
+fn write_artifact(path: &str, bytes: &[u8], policy: RetryPolicy) -> Result<(), String> {
+    write_atomic(&RealFs, path, bytes, policy).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Does `path` already hold a `.csbn` container? Peeks at the magic
+/// bytes only — the durable append path reads the rest itself.
+fn is_csbn_file(path: &str) -> bool {
+    use std::io::Read as _;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).is_ok() && is_store_bytes(&magic)
 }
 
 /// Arm telemetry when `--metrics <file|->` is present: reset and enable
@@ -275,7 +313,7 @@ fn metrics_finish(dest: Option<&str>) -> Result<(), String> {
     if dest == "-" {
         eprint!("{}", snap.render_table());
     } else {
-        std::fs::write(dest, snap.to_json()).map_err(|e| format!("write {dest}: {e}"))?;
+        write_artifact(dest, snap.to_json().as_bytes(), RetryPolicy::default())?;
         eprintln!("wrote metrics {dest}");
     }
     Ok(())
@@ -311,8 +349,9 @@ fn load(path: &str) -> Result<Graph, String> {
 fn save(g: &Graph, path: Option<&str>, header: &str) -> Result<(), String> {
     match path {
         Some(p) => {
-            let f = File::create(p).map_err(|e| format!("create {p}: {e}"))?;
-            write_edge_list(g, f, Some(header)).map_err(|e| e.to_string())
+            let mut buf = Vec::new();
+            write_edge_list(g, &mut buf, Some(header)).map_err(|e| e.to_string())?;
+            write_artifact(p, &buf, RetryPolicy::default())
         }
         None => {
             write_edge_list(g, std::io::stdout().lock(), Some(header)).map_err(|e| e.to_string())
@@ -461,6 +500,20 @@ fn container_metadata(store: &Store<'_>, file_len: usize) -> String {
     } else {
         let _ = writeln!(out, "layout          base");
     }
+    if let Some(keep) = store.recovered_len() {
+        let _ = writeln!(
+            out,
+            "degraded        torn tail: {keep} of {file_len} bytes valid ({} ignored)",
+            file_len - keep
+        );
+    }
+    if store.quarantined_count() > 0 {
+        let _ = writeln!(
+            out,
+            "degraded        {} checksum-failing section(s) quarantined",
+            store.quarantined_count()
+        );
+    }
     if store.is_lazy() {
         let _ = writeln!(
             out,
@@ -473,11 +526,16 @@ fn container_metadata(store: &Store<'_>, file_len: usize) -> String {
     for (i, s) in store.sections().iter().enumerate() {
         let _ = writeln!(
             out,
-            "  [{i}] {:<18} tag {:<4} {:>10} bytes  checksum {:#018x}",
+            "  [{i}] {:<18} tag {:<4} {:>10} bytes  checksum {:#018x}{}",
             SectionKind::name_of(s.kind),
             s.tag,
             s.len,
-            s.checksum
+            s.checksum,
+            if store.section_quarantined(i) {
+                "  QUARANTINED"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -510,6 +568,12 @@ fn container_json(store: &Store<'_>, file_len: usize) -> String {
     w.value_u64(store.generation());
     w.key("lazy");
     w.value_bool(store.is_lazy());
+    w.key("degraded");
+    w.value_bool(store.is_degraded());
+    if let Some(keep) = store.recovered_len() {
+        w.key("recovered_bytes");
+        w.value_u64(keep as u64);
+    }
     w.key("sections");
     w.begin_array();
     for (i, s) in store.sections().iter().enumerate() {
@@ -526,6 +590,8 @@ fn container_json(store: &Store<'_>, file_len: usize) -> String {
         w.value_str(&format!("{:#018x}", s.checksum));
         w.key("verified");
         w.value_bool(store.section_verified(i));
+        w.key("quarantined");
+        w.value_bool(store.section_quarantined(i));
         w.end_object();
     }
     w.end_array();
@@ -635,7 +701,7 @@ pub fn bench(argv: &[String]) -> i32 {
             eprint!("{}", report.render());
             if let Some(md_path) = args.get("summary") {
                 let md = perfbase::render_markdown(&base, &suite);
-                std::fs::write(md_path, md).map_err(|e| format!("write {md_path}: {e}"))?;
+                write_artifact(md_path, md.as_bytes(), RetryPolicy::default())?;
                 eprintln!("wrote {md_path}");
             }
             if report.compared == 0 {
@@ -656,7 +722,7 @@ pub fn bench(argv: &[String]) -> i32 {
             };
             let merged = perfbase::merge(existing, suite);
             let json = serde_json::to_string_pretty(&merged).map_err(|e| e.to_string())?;
-            std::fs::write(out, json + "\n").map_err(|e| format!("write {out}: {e}"))?;
+            write_artifact(out, (json + "\n").as_bytes(), RetryPolicy::default())?;
             eprintln!("wrote {out}");
         }
         metrics_finish(metrics)
@@ -695,12 +761,19 @@ pub fn stream(argv: &[String]) -> i32 {
                 "checkpoint",
                 "resume",
                 "windows",
+                "io-retries",
                 "metrics",
             ],
-            &["json"],
+            &["json", "degraded"],
         )?;
         let metrics = metrics_begin(&args);
+        // per-operation transient-I/O retry budget for every artifact
+        // this run writes (checkpoints, edge lists, replays)
+        let policy = RetryPolicy::new(args.get_or("io-retries", 4)?);
         let resume_path = args.get("resume");
+        if args.has("degraded") && resume_path.is_none() {
+            return Err("--degraded only applies when resuming (--resume FILE)".into());
+        }
         if resume_path.is_some() {
             // the checkpoint carries the run configuration; a silently
             // overridden batch size or threshold would diverge from the
@@ -770,10 +843,10 @@ pub fn stream(argv: &[String]) -> i32 {
             (None, None) => return Err("need --in FILE or --preset".into()),
         };
         if let Some(path) = args.get("replay-out") {
-            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut buf = Vec::new();
             write_replay(
                 &matrix,
-                f,
+                &mut buf,
                 Some(&format!(
                     "replay: {} genes x {} samples",
                     matrix.genes(),
@@ -781,6 +854,7 @@ pub fn stream(argv: &[String]) -> i32 {
                 )),
             )
             .map_err(|e| format!("write {path}: {e}"))?;
+            write_artifact(path, &buf, policy)?;
             eprintln!("wrote replay {path}");
         }
 
@@ -792,10 +866,36 @@ pub fn stream(argv: &[String]) -> i32 {
                 if !is_store_bytes(&ckbytes) {
                     return Err(format!("{ckpath} is not a .csbn checkpoint"));
                 }
-                // lazy open: resume touches every section it reads, so
-                // corruption still fails typed, without an up-front
-                // sweep over superseded generations
-                let store = Store::open_lazy(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?;
+                let store = if args.has("degraded") {
+                    // degraded open: a torn or bit-rotted checkpoint
+                    // falls back to its newest fully valid generation
+                    // (checksum-failing sections are quarantined) so an
+                    // interrupted run can still continue from the last
+                    // committed state
+                    let s = Store::open_degraded(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?;
+                    if let Some(keep) = s.recovered_len() {
+                        eprintln!(
+                            "warning: {ckpath} is damaged; resuming from generation {} \
+                             ({} of {} bytes, {} trailing bytes ignored)",
+                            s.generation(),
+                            keep,
+                            ckbytes.len(),
+                            ckbytes.len() - keep
+                        );
+                    }
+                    if s.quarantined_count() > 0 {
+                        eprintln!(
+                            "warning: {ckpath}: {} checksum-failing section(s) quarantined",
+                            s.quarantined_count()
+                        );
+                    }
+                    s
+                } else {
+                    // lazy open: resume touches every section it reads,
+                    // so corruption still fails typed, without an
+                    // up-front sweep over superseded generations
+                    Store::open_lazy(&ckbytes).map_err(|e| format!("{ckpath}: {e}"))?
+                };
                 let d = StreamDriver::resume_from(&store).map_err(|e| format!("{ckpath}: {e}"))?;
                 if d.genes() != matrix.genes() {
                     return Err(format!(
@@ -852,23 +952,34 @@ pub fn stream(argv: &[String]) -> i32 {
         }
         if let Some(path) = args.get("checkpoint") {
             // when the target already holds a .csbn container the new
-            // state is appended under a superseding table (earlier
-            // generations stay recoverable by truncation); anything
-            // else is (over)written as a fresh base-layout container
-            let existing = std::fs::read(path).ok().filter(|b| is_store_bytes(b));
-            let bytes = match &existing {
-                Some(base) => driver
-                    .checkpoint_append_to(base)
-                    .map_err(|e| format!("append checkpoint {path}: {e}"))?,
-                None => driver
-                    .checkpoint_bytes()
-                    .map_err(|e| format!("checkpoint: {e}"))?,
-            };
-            std::fs::write(path, bytes).map_err(|e| format!("write {path}: {e}"))?;
+            // state is appended *in place* as a durable generation —
+            // only the suffix is written, payloads and table are
+            // fsynced before the committing footer, and earlier
+            // generations survive as a bit-exact prefix (a torn tail
+            // from an earlier crash is truncated away first). Anything
+            // else is atomically replaced with a fresh base-layout
+            // container. Either way the sections stream straight from
+            // the writer; the container is never materialized twice.
+            let w = driver
+                .checkpoint_writer()
+                .map_err(|e| format!("checkpoint: {e}"))?;
+            let existing = is_csbn_file(path);
+            if existing {
+                let out = append_durable(&RealFs, path, &w, policy)
+                    .map_err(|e| format!("append checkpoint {path}: {e}"))?;
+                if out.recovered_bytes > 0 {
+                    eprintln!(
+                        "warning: {path} had a torn tail; dropped {} byte(s) before appending",
+                        out.recovered_bytes
+                    );
+                }
+            } else {
+                save_atomic(&RealFs, path, &w, policy).map_err(|e| format!("write {path}: {e}"))?;
+            }
             eprintln!(
                 "wrote checkpoint {path} ({} samples ingested{})",
                 driver.samples_ingested(),
-                if existing.is_some() { ", appended" } else { "" }
+                if existing { ", appended" } else { "" }
             );
         }
         let chordal = driver.chordal().clone();
@@ -929,9 +1040,10 @@ pub fn stream(argv: &[String]) -> i32 {
         }
 
         if let Some(path) = args.get("out") {
-            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-            write_edge_list(&chordal, f, Some("incremental chordal subgraph"))
+            let mut buf = Vec::new();
+            write_edge_list(&chordal, &mut buf, Some("incremental chordal subgraph"))
                 .map_err(|e| e.to_string())?;
+            write_artifact(path, &buf, policy)?;
             eprintln!("wrote {path}");
         }
         if let Some(expect) = args.get("expect-checksum") {
@@ -1030,14 +1142,19 @@ fn container_report(argv: &[String], table: bool) -> i32 {
     let mut run = || -> Result<(), String> {
         let args = Args::parse(argv)?;
         if table {
-            args.reject_unknown(&["in", "metrics"], &["json"])?;
+            args.reject_unknown(&["in", "metrics"], &["json", "degraded"])?;
         } else {
             args.reject_unknown(&["in", "metrics"], &[])?;
         }
         let metrics = metrics_begin(&args);
         let path = args.require("in")?;
         let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
-        let opened = if table {
+        let opened = if table && args.has("degraded") {
+            // best-effort open: a torn tail resolves to the newest
+            // fully valid generation and checksum-failing sections are
+            // quarantined — the report then says exactly what survives
+            Store::open_degraded(&bytes)
+        } else if table {
             Store::open_lazy(&bytes)
         } else {
             Store::parse(&bytes)
@@ -1115,12 +1232,13 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
                 "checkpoint",
                 "resume",
                 "windows",
+                "io-retries",
                 "metrics",
             ],
-            &["json"],
+            &["json", "degraded"],
         ),
         "pack" => (&["in", "kind", "out"], &[]),
-        "inspect" => (&["in", "metrics"], &["json"]),
+        "inspect" => (&["in", "metrics"], &["json", "degraded"]),
         "verify" => (&["in", "metrics"], &[]),
         "fuzz" => (&["target", "iters", "seed", "corpus", "minimize"], &[]),
         "help" | "--help" | "-h" => return Ok(()),
@@ -1144,6 +1262,7 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
     for key in ["seed", "iters", "expect-checksum"] {
         let _: u64 = args.get_or(key, 0)?;
     }
+    let _: u32 = args.get_or("io-retries", 4)?;
     if let Some(p) = args.get("preset") {
         if !matches!(p, "yng" | "mid" | "unt" | "cre") {
             return Err(format!("unknown preset {p}"));
@@ -1227,7 +1346,7 @@ pub fn fuzz(argv: &[String]) -> i32 {
             match casbn_fuzz::execute_one(target.as_mut(), &min, cfg.max_alloc) {
                 Execution::Failed(kind, msg) => {
                     let out = format!("{path}.min");
-                    std::fs::write(&out, &min).map_err(|e| format!("write {out}: {e}"))?;
+                    write_artifact(&out, &min, RetryPolicy::default())?;
                     println!(
                         "{}: {} bytes -> {} bytes ({}: {msg})",
                         target.name(),
@@ -1283,7 +1402,7 @@ pub fn fuzz(argv: &[String]) -> i32 {
                         cfg.seed,
                         c.iteration
                     );
-                    std::fs::write(&out, &c.input).map_err(|e| format!("write {out}: {e}"))?;
+                    write_artifact(&out, &c.input, RetryPolicy::default())?;
                     eprintln!("  wrote {out}");
                 }
             }

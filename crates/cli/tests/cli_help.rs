@@ -36,6 +36,8 @@ const PARSED_FLAGS: &[&str] = &[
     "--checkpoint",
     "--resume",
     "--windows",
+    "--degraded",
+    "--io-retries",
     "--kind",
     "--target",
     "--iters",
@@ -71,7 +73,9 @@ const STREAM_FLAGS: &[&str] = &[
     "--expect-checksum",
     "--checkpoint",
     "--resume",
+    "--degraded",
     "--windows",
+    "--io-retries",
     "--metrics",
 ];
 

@@ -442,3 +442,113 @@ fn checkpoint_into_an_existing_container_appends_a_generation() {
         stderr(&out)
     );
 }
+
+#[test]
+fn degraded_resume_recovers_a_torn_checkpoint_through_the_binary() {
+    // build a two-generation checkpoint (suspend at window 2, resume and
+    // suspend again at window 3), then tear bytes off the tail so the
+    // newest generation's footer is destroyed: a plain --resume must
+    // refuse the damaged file, while --resume --degraded falls back to
+    // the newest intact generation, warns on stderr, and still drives
+    // the remaining windows to the uninterrupted run's checksum
+    let preset = [
+        "--preset",
+        "yng",
+        "--scale",
+        "0.02",
+        "--samples",
+        "8",
+        "--batch",
+        "2",
+    ];
+    // --batch comes from the checkpoint when resuming, so resume
+    // invocations drop it
+    let resume_preset = ["--preset", "yng", "--scale", "0.02", "--samples", "8"];
+    let full = casbn(&[&["stream"], &preset[..]].concat());
+    assert_eq!(full.status.code(), Some(0), "{}", stderr(&full));
+    let checksum = stdout(&full)
+        .lines()
+        .find(|l| l.starts_with("checksum "))
+        .expect("summary prints a checksum")
+        .trim_start_matches("checksum ")
+        .to_string();
+
+    let ck = tmp("torn.ck.csbn");
+    let _ = std::fs::remove_file(&ck);
+    let out = casbn(
+        &[
+            &["stream"],
+            &preset[..],
+            &["--windows", "2", "--checkpoint", ck.as_str()],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = casbn(
+        &[
+            &["stream"],
+            &resume_preset[..],
+            &[
+                "--resume",
+                ck.as_str(),
+                "--windows",
+                "1",
+                "--checkpoint",
+                ck.as_str(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // tear into the appended generation's footer
+    let bytes = std::fs::read(&ck).unwrap();
+    std::fs::write(&ck, &bytes[..bytes.len() - 13]).unwrap();
+
+    // without --degraded the damaged checkpoint is refused
+    let out = casbn(&[&["stream"], &resume_preset[..], &["--resume", ck.as_str()]].concat());
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    // --degraded only applies when resuming
+    let out = casbn(&[&["stream"], &resume_preset[..], &["--degraded"]].concat());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--degraded only applies"),
+        "{}",
+        stderr(&out)
+    );
+
+    // degraded resume falls back to the window-2 generation and the
+    // remaining windows reproduce the pinned uninterrupted checksum
+    let out = casbn(
+        &[
+            &["stream"],
+            &resume_preset[..],
+            &[
+                "--resume",
+                ck.as_str(),
+                "--degraded",
+                "--expect-checksum",
+                checksum.as_str(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "degraded resume diverged: {}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("is damaged; resuming from generation"),
+        "{}",
+        stderr(&out)
+    );
+
+    // inspect --degraded reports the torn tail instead of erroring
+    let out = casbn(&["inspect", "--in", &ck, "--degraded"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("torn tail"), "{}", stdout(&out));
+}

@@ -61,7 +61,7 @@ pub trait Target {
 /// `Err` is the parser's typed rejection.
 pub type ArgvCheck = fn(&[String]) -> Result<(), String>;
 
-/// The six targets that need no injection.
+/// The seven targets that need no injection.
 pub fn builtin_targets() -> Vec<Box<dyn Target>> {
     vec![
         Box::new(EdgeListTarget),
@@ -69,11 +69,12 @@ pub fn builtin_targets() -> Vec<Box<dyn Target>> {
         Box::new(CsbnTarget),
         Box::new(LazyOpenTarget),
         Box::new(AppendTarget),
+        Box::new(CrashTarget),
         Box::new(CheckpointTarget::new()),
     ]
 }
 
-/// All seven targets, with the CLI argv surface wired to `check`.
+/// All eight targets, with the CLI argv surface wired to `check`.
 pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
     let mut ts = builtin_targets();
     ts.push(Box::new(ArgvTarget { check }));
@@ -81,12 +82,13 @@ pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
 }
 
 /// Registry names in canonical order.
-pub const TARGET_NAMES: [&str; 7] = [
+pub const TARGET_NAMES: [&str; 8] = [
     "edge-list",
     "replay",
     "csbn",
     "csbn-lazy",
     "csbn-append",
+    "csbn-crash",
     "checkpoint-resume",
     "cli-argv",
 ];
@@ -717,6 +719,148 @@ impl Target for AppendTarget {
     }
 }
 
+// --------------------------------------------------------------- csbn-crash
+
+/// Crash-recovery surfaces (`Store::recover_prefix_len` +
+/// `Store::open_degraded`) fuzzed over durably-grown containers with
+/// torn tails, bit rot and arbitrary byte damage. The invariants:
+///
+/// 1. neither recovery surface ever panics, whatever the damage;
+/// 2. a container the eager parse accepts recovers to its *full*
+///    length and opens degraded-free — recovery must never shorten a
+///    healthy file;
+/// 3. a recovered prefix opens structurally and is a fixed point of
+///    recovery (recovering it again returns the same length);
+/// 4. a degraded open serves exactly its non-quarantined sections —
+///    every quarantined section fails typed with `ChecksumMismatch`,
+///    every other section reads clean.
+struct CrashTarget;
+
+impl Target for CrashTarget {
+    fn name(&self) -> &'static str {
+        "csbn-crash"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        use casbn_store::io::{append_durable, save_atomic, MemFs, RetryPolicy};
+        // grow a realistic durable container: an atomic base write plus
+        // up to two in-place generation appends (the layout the crash
+        // paths actually recover, gaps and superseded tables included)
+        let fs = MemFs::new();
+        let mut w = StoreWriter::new();
+        for _ in 0..rng.range(1, 3) {
+            CsbnTarget::valid_section(&mut w, rng);
+        }
+        save_atomic(&fs, "f.csbn", &w, RetryPolicy::default()).expect("memfs save");
+        for _ in 0..rng.below(3) {
+            let mut a = StoreWriter::new();
+            if rng.chance(2, 3) {
+                CsbnTarget::valid_section(&mut a, rng);
+            }
+            append_durable(&fs, "f.csbn", &a, RetryPolicy::default()).expect("memfs append");
+        }
+        let mut bytes = fs.live("f.csbn").expect("container written");
+        match rng.below(4) {
+            // clean: recovery must be the identity
+            0 => {}
+            // torn tail: the crash shape durable appends leave behind
+            1 => {
+                let cut = rng.below(bytes.len() + 1);
+                bytes.truncate(cut);
+            }
+            // single-bit rot: structure intact, one checksum broken
+            2 => {
+                let bit = rng.below(bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            // generic byte mutators: header/table/footer attacks
+            _ => {
+                let rounds = rng.range(1, 10);
+                mutate(&mut bytes, rng, rounds);
+            }
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        use casbn_store::StoreError;
+        let recovered = Store::recover_prefix_len(input);
+        let degraded = Store::open_degraded(input);
+
+        if let Ok(&len) = recovered.as_ref() {
+            if len > input.len() {
+                return Err(format!(
+                    "recovery claimed {len} bytes of a {}-byte input",
+                    input.len()
+                ));
+            }
+            Store::open_lazy(&input[..len])
+                .map_err(|e| format!("recovered prefix of {len} bytes failed to open: {e}"))?;
+            match Store::recover_prefix_len(&input[..len]) {
+                Ok(again) if again == len => {}
+                other => {
+                    return Err(format!(
+                        "recovery is not a fixed point: {len} bytes re-recovered to {other:?}"
+                    ))
+                }
+            }
+        } else if let Err(e) = &recovered {
+            if e.to_string().is_empty() {
+                return Err("recovery error with empty Display".into());
+            }
+        }
+
+        if Store::parse(input).is_ok() {
+            // a healthy container: recovery is the identity and the
+            // degraded open reports nothing degraded
+            if !matches!(recovered.as_ref(), Ok(&len) if len == input.len()) {
+                return Err(format!(
+                    "clean {}-byte container recovered to {recovered:?}",
+                    input.len()
+                ));
+            }
+            let d = degraded.map_err(|e| format!("clean container failed degraded open: {e}"))?;
+            if d.is_degraded() || d.quarantined_count() > 0 {
+                return Err("clean container opened as degraded".into());
+            }
+            return Ok(Outcome::Accepted);
+        }
+
+        match degraded {
+            Ok(d) => {
+                if !d.is_degraded() {
+                    return Err("damaged container opened degraded-free".into());
+                }
+                for i in 0..d.sections().len() {
+                    match (d.section_quarantined(i), d.payload_checked(i)) {
+                        (true, Err(StoreError::ChecksumMismatch { .. })) => {}
+                        (true, Err(e)) => {
+                            return Err(format!(
+                                "quarantined section {i} failed with the wrong error: {e}"
+                            ))
+                        }
+                        (true, Ok(_)) => return Err(format!("quarantined section {i} read clean")),
+                        (false, Ok(_)) => {}
+                        (false, Err(e)) => {
+                            return Err(format!("non-quarantined section {i} failed to read: {e}"))
+                        }
+                    }
+                }
+                Ok(Outcome::Rejected)
+            }
+            Err(e) => {
+                if e.to_string().is_empty() {
+                    return Err("degraded-open error with empty Display".into());
+                }
+                if Store::open_lazy(input).is_ok() {
+                    return Err("degraded open failed where the plain lazy open succeeded".into());
+                }
+                Ok(Outcome::Rejected)
+            }
+        }
+    }
+}
+
 // -------------------------------------------------------- checkpoint-resume
 
 /// Stream checkpoint containers (`StreamDriver::resume_from`) — the
@@ -1135,6 +1279,26 @@ mod tests {
         let mut t = CsbnTarget;
         assert_eq!(t.run(&w.to_bytes()).unwrap(), Outcome::Accepted);
         assert_eq!(t.run(b"plain text").unwrap(), Outcome::Rejected);
+    }
+
+    #[test]
+    fn crash_target_oracles_hold_on_handcrafted_damage() {
+        let mut rng = FuzzRng::for_iteration(0, "unit", 1);
+        let mut w = StoreWriter::new();
+        CsbnTarget::valid_section(&mut w, &mut rng);
+        let clean = w.to_bytes();
+        let mut t = CrashTarget;
+        // a clean container is accepted (recovery is the identity)
+        assert_eq!(t.run(&clean).unwrap(), Outcome::Accepted);
+        // a torn tail is rejected-but-recovered, never an oracle error
+        assert_eq!(t.run(&clean[..clean.len() - 5]).unwrap(), Outcome::Rejected);
+        // bit rot in a payload quarantines, serves the rest
+        let mut rotten = clean.clone();
+        let last = rotten.len() - 1;
+        rotten[last] ^= 0x40;
+        assert_eq!(t.run(&rotten).unwrap(), Outcome::Rejected);
+        // garbage is a typed rejection
+        assert_eq!(t.run(b"garbage").unwrap(), Outcome::Rejected);
     }
 
     #[test]

@@ -55,11 +55,16 @@
 
 pub mod codec;
 pub mod error;
+pub mod io;
 pub mod reader;
 pub mod writer;
 
 pub use codec::{Dec, Enc};
 pub use error::StoreError;
+pub use io::{
+    append_durable, save_atomic, write_atomic, ArtifactFile, CrashFlush, FaultConfig, FaultFs,
+    MemFs, RealFs, RetryPolicy, Vfs, VfsFile,
+};
 pub use reader::{SectionEntry, Store};
 pub use writer::StoreWriter;
 

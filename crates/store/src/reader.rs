@@ -72,6 +72,12 @@ pub struct Store<'a> {
     /// `Some` under [`Store::open_lazy`]: one memo slot per section
     /// holding the payload checksum computed on first access.
     lazy: Option<Vec<OnceLock<u64>>>,
+    /// Under [`Store::open_degraded`]: one flag per section, `true`
+    /// where the payload failed its checksum and is quarantined.
+    quarantined: Vec<bool>,
+    /// Under [`Store::open_degraded`]: `Some(valid_len)` when the open
+    /// fell back to a shorter valid generation of a torn file.
+    recovered_len: Option<usize>,
 }
 
 impl<'a> Store<'a> {
@@ -94,6 +100,134 @@ impl<'a> Store<'a> {
         // every payload's verification is deferred at open; the memoized
         // first touches below count against this
         casbn_obs::counter_add("store.checksum_deferred", store.entries.len() as u64);
+        Ok(store)
+    }
+
+    /// Length of the longest prefix of `bytes` that is a structurally
+    /// valid container — the newest generation that survived a torn
+    /// write.
+    ///
+    /// A clean container resolves to its full length. Otherwise the
+    /// bytes are scanned backwards for footer candidates (every
+    /// 8-aligned [`FOOTER_MAGIC`] position), newest first, and the
+    /// first prefix that opens is returned; failing that, the base
+    /// layout's own extent (header + table + contiguous payloads) is
+    /// tried. A file with no valid prefix at all returns the original
+    /// parse error.
+    ///
+    /// Under the durable-append protocol
+    /// (`casbn_store::io::append_durable`) a crash at any write
+    /// boundary leaves exactly such a prefix: the footer is only
+    /// written once everything it references is fsynced, so the newest
+    /// recoverable generation is always bit-exact — prior or new, never
+    /// partial.
+    pub fn recover_prefix_len(bytes: &[u8]) -> Result<usize, StoreError> {
+        let err = match Store::parse_inner(bytes, false) {
+            Ok(_) => return Ok(bytes.len()),
+            Err(e) => e,
+        };
+        // newest-first footer scan: a valid generation ends in a footer
+        // at an 8-aligned offset
+        if bytes.len() >= FOOTER_LEN {
+            let mut p = (bytes.len() - FOOTER_LEN) & !7usize;
+            loop {
+                if bytes[p..p + FOOTER_MAGIC.len()] == FOOTER_MAGIC
+                    && Store::parse_inner(&bytes[..p + FOOTER_LEN], false).is_ok()
+                {
+                    return Ok(p + FOOTER_LEN);
+                }
+                if p < 8 {
+                    break;
+                }
+                p -= 8;
+            }
+        }
+        // no surviving appended generation: try the base container's
+        // own extent, computed from the (header-checksummed) table
+        if let Some(end) = Store::base_extent(bytes) {
+            if end <= bytes.len() && Store::parse_inner(&bytes[..end], false).is_ok() {
+                return Ok(end);
+            }
+        }
+        Err(err)
+    }
+
+    /// The base layout's declared end (header + table + contiguous
+    /// padded payloads), if the header and table are present and
+    /// plausible. Purely arithmetic — the caller re-validates the
+    /// prefix with a real parse.
+    fn base_extent(bytes: &[u8]) -> Option<usize> {
+        if bytes.len() < HEADER_LEN || bytes[..MAGIC.len()] != MAGIC {
+            return None;
+        }
+        let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let table_end = count
+            .checked_mul(SECTION_ENTRY_LEN)?
+            .checked_add(HEADER_LEN)?;
+        if table_end > bytes.len() {
+            return None;
+        }
+        let mut cursor = table_end;
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let offset = usize::try_from(u64::from_le_bytes(
+                bytes[at + 8..at + 16].try_into().unwrap(),
+            ))
+            .ok()?;
+            let len = usize::try_from(u64::from_le_bytes(
+                bytes[at + 16..at + 24].try_into().unwrap(),
+            ))
+            .ok()?;
+            if offset != cursor {
+                return None;
+            }
+            cursor = align8(offset.checked_add(len)?);
+        }
+        Some(cursor)
+    }
+
+    /// Open a container in **degraded mode**: a torn file falls back to
+    /// its newest valid generation (via [`Store::recover_prefix_len`]),
+    /// and sections failing their payload checksum are *quarantined*
+    /// instead of failing the open — [`Store::payload_checked`] returns
+    /// the typed mismatch for exactly those sections while the rest of
+    /// the container stays readable.
+    ///
+    /// Every payload is checksummed up front (this is not a lazy open);
+    /// quarantined sections are counted into the
+    /// `store.quarantined_sections` telemetry counter, and a truncated
+    /// fallback bumps `io.recovered_generation`. Inspect the damage via
+    /// [`Store::quarantined_count`], [`Store::section_quarantined`] and
+    /// [`Store::recovered_len`].
+    pub fn open_degraded(bytes: &'a [u8]) -> Result<Store<'a>, StoreError> {
+        casbn_obs::counter_inc("store.open_degraded");
+        let (mut store, recovered) = match Store::parse_inner(bytes, false) {
+            Ok(s) => (s, None),
+            Err(_) => {
+                let keep = Store::recover_prefix_len(bytes)?;
+                casbn_obs::counter_inc("io.recovered_generation");
+                (Store::parse_inner(&bytes[..keep], false)?, Some(keep))
+            }
+        };
+        store.recovered_len = recovered;
+        store.lazy = Some((0..store.entries.len()).map(|_| OnceLock::new()).collect());
+        store.quarantined = store
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let memo = store.lazy.as_ref().expect("lazy memos just installed");
+                let got = *memo[i].get_or_init(|| {
+                    casbn_obs::counter_inc("store.checksum_performed");
+                    fnv1a(&store.bytes[e.offset..e.offset + e.len])
+                });
+                got != e.checksum
+            })
+            .collect();
+        let bad = store.quarantined.iter().filter(|&&q| q).count();
+        if bad > 0 {
+            casbn_obs::counter_add("store.quarantined_sections", bad as u64);
+        }
         Ok(store)
     }
 
@@ -222,6 +356,8 @@ impl<'a> Store<'a> {
             generation: 0,
             data_end: bytes.len(),
             lazy: None,
+            quarantined: Vec::new(),
+            recovered_len: None,
         })
     }
 
@@ -312,6 +448,8 @@ impl<'a> Store<'a> {
             generation,
             data_end: table_offset,
             lazy: None,
+            quarantined: Vec::new(),
+            recovered_len: None,
         })
     }
 
@@ -424,6 +562,39 @@ impl<'a> Store<'a> {
         self.lazy.is_some()
     }
 
+    /// Whether this view was opened with [`Store::open_degraded`] and
+    /// is serving a container with quarantined sections or a recovered
+    /// (truncated) generation.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.recovered_len.is_some() || self.quarantined.iter().any(|&q| q)
+    }
+
+    /// How many sections are quarantined (checksum-failed under a
+    /// degraded open); 0 for eager/lazy opens.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Whether section `index` is quarantined (always `false` outside
+    /// [`Store::open_degraded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range, like [`Store::payload`].
+    pub fn section_quarantined(&self, index: usize) -> bool {
+        assert!(index < self.entries.len(), "section index out of range");
+        self.quarantined.get(index).copied().unwrap_or(false)
+    }
+
+    /// `Some(valid_len)` when a degraded open fell back to a shorter
+    /// valid generation of a torn file (the served view covers only
+    /// those first bytes).
+    #[inline]
+    pub fn recovered_len(&self) -> Option<usize> {
+        self.recovered_len
+    }
+
     /// How many sections have had their checksum verified so far: all
     /// of them for an eager parse, the memoized count under a lazy open.
     pub fn sections_verified(&self) -> usize {
@@ -463,6 +634,20 @@ impl<'a> Store<'a> {
     /// Panics if `index` is out of range, like [`Store::payload`].
     pub fn payload_checked(&self, index: usize) -> Result<&'a [u8], StoreError> {
         let e = &self.entries[index];
+        if self.quarantined.get(index).copied().unwrap_or(false) {
+            // degraded open: the mismatch was computed (and memoized)
+            // up front; every access stays a typed error
+            let got = self
+                .lazy
+                .as_ref()
+                .and_then(|memo| memo[index].get().copied())
+                .unwrap_or_default();
+            return Err(StoreError::ChecksumMismatch {
+                section: Some(index),
+                expected: e.checksum,
+                got,
+            });
+        }
         let bytes = &self.bytes[e.offset..e.offset + e.len];
         casbn_obs::counter_add(bytes_counter_key(e.kind), e.len as u64);
         if let Some(memo) = &self.lazy {

@@ -55,12 +55,11 @@ impl StoreWriter {
         self.sections.len()
     }
 
-    /// Assemble the container bytes, with every narrowing cast checked:
-    /// a section count past `u32::MAX` is a typed
-    /// [`StoreError::Malformed`] instead of a silently wrapped header
-    /// field (the offset/length table fields are `usize → u64` and
-    /// cannot lose width).
-    pub fn try_to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+    /// The fixed header plus section table — everything before the
+    /// payload region — as one small buffer, so writers can stream the
+    /// container (header+table, then each payload slice) without ever
+    /// materializing it contiguously.
+    pub(crate) fn header_and_table(&self) -> Result<Vec<u8>, StoreError> {
         let count = u32::try_from(self.sections.len()).map_err(|_| {
             StoreError::Malformed(format!(
                 "section count {} exceeds the container's u32 field",
@@ -68,13 +67,7 @@ impl StoreWriter {
             ))
         })?;
         let table_end = HEADER_LEN + self.sections.len() * crate::SECTION_ENTRY_LEN;
-        let total: usize = table_end
-            + self
-                .sections
-                .iter()
-                .map(|(_, _, p)| align8(p.len()))
-                .sum::<usize>();
-        let mut out = Vec::with_capacity(total);
+        let mut out = Vec::with_capacity(table_end);
 
         // fixed header (checksum patched below)
         out.extend_from_slice(&MAGIC);
@@ -105,7 +98,30 @@ impl StoreWriter {
         h.update(&out[HEADER_LEN..]);
         let h = h.finish().to_le_bytes();
         out[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&h);
+        Ok(out)
+    }
 
+    /// The section payload slices, in table order (each is zero-padded
+    /// to 8 bytes on the wire).
+    pub(crate) fn payloads(&self) -> impl Iterator<Item = &[u8]> {
+        self.sections.iter().map(|(_, _, p)| p.as_slice())
+    }
+
+    /// Assemble the container bytes, with every narrowing cast checked:
+    /// a section count past `u32::MAX` is a typed
+    /// [`StoreError::Malformed`] instead of a silently wrapped header
+    /// field (the offset/length table fields are `usize → u64` and
+    /// cannot lose width).
+    pub fn try_to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let total: usize = HEADER_LEN
+            + self.sections.len() * crate::SECTION_ENTRY_LEN
+            + self
+                .sections
+                .iter()
+                .map(|(_, _, p)| align8(p.len()))
+                .sum::<usize>();
+        let mut out = self.header_and_table()?;
+        out.reserve(total - out.len());
         // aligned payloads
         for (_, _, payload) in &self.sections {
             out.extend_from_slice(payload);
@@ -147,21 +163,32 @@ impl StoreWriter {
     /// appending costs O(header + table + new payloads).
     pub fn append_to(&self, base: &[u8]) -> Result<Vec<u8>, StoreError> {
         let store = Store::open_lazy(base)?;
-        let generation = store
-            .generation()
-            .checked_add(1)
-            .ok_or_else(|| StoreError::Malformed("append generation counter overflows".into()))?;
+        let generation = next_generation(&store)?;
         let mut out = base[..store.data_end()].to_vec();
         debug_assert_eq!(out.len() % 8, 0, "payload region must stay 8-aligned");
 
-        // merged table: start from the live entries, replacing matches
-        // in place so `find` keeps returning the first (and only) entry
-        // for a (kind, tag)
-        let mut entries: Vec<SectionEntry> = store.sections().to_vec();
-        for (kind, tag, payload) in &self.sections {
-            let offset = out.len();
+        let (entries, table_offset) = self.merge_entries(store.sections().to_vec(), out.len());
+        for (_, _, payload) in &self.sections {
             out.extend_from_slice(payload);
             out.resize(align8(out.len()), 0);
+        }
+        debug_assert_eq!(out.len(), table_offset);
+        let (table, footer) = table_and_footer(&entries, table_offset, generation);
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&footer);
+        Ok(out)
+    }
+
+    /// Merge this writer's sections into `entries` — replacing a
+    /// matching `(kind, tag)` in place, appending otherwise — with
+    /// payload offsets assigned sequentially from `offset`. Returns the
+    /// merged table and the end of the last padded payload.
+    fn merge_entries(
+        &self,
+        mut entries: Vec<SectionEntry>,
+        mut offset: usize,
+    ) -> (Vec<SectionEntry>, usize) {
+        for (kind, tag, payload) in &self.sections {
             let e = SectionEntry {
                 kind: *kind,
                 tag: *tag,
@@ -169,6 +196,7 @@ impl StoreWriter {
                 len: payload.len(),
                 checksum: fnv1a(payload),
             };
+            offset += align8(payload.len());
             match entries
                 .iter_mut()
                 .find(|x| x.kind == *kind && x.tag == *tag)
@@ -177,27 +205,30 @@ impl StoreWriter {
                 None => entries.push(e),
             }
         }
+        (entries, offset)
+    }
 
-        // superseding table + footer
-        let table_offset = out.len();
-        for e in &entries {
-            out.extend_from_slice(&e.kind.to_le_bytes());
-            out.extend_from_slice(&e.tag.to_le_bytes());
-            out.extend_from_slice(&(e.offset as u64).to_le_bytes());
-            out.extend_from_slice(&(e.len as u64).to_le_bytes());
-            out.extend_from_slice(&e.checksum.to_le_bytes());
+    /// The *durable* append plan: unlike [`StoreWriter::append_to`],
+    /// which compacts onto `base[..data_end]` (overwriting the previous
+    /// table and footer), this plans new payloads strictly *after* the
+    /// full `base` length, so the previous generation — footer included
+    /// — survives as a bit-exact prefix. `casbn_store::io::append_durable`
+    /// writes the payloads, then `table`, fsyncs, then `footer`.
+    pub(crate) fn append_tail(&self, base: &[u8]) -> Result<AppendTail, StoreError> {
+        let store = Store::open_lazy(base)?;
+        let generation = next_generation(&store)?;
+        if !base.len().is_multiple_of(8) {
+            return Err(StoreError::Malformed(
+                "append base length not 8-aligned".into(),
+            ));
         }
-        let mut footer = Vec::with_capacity(FOOTER_LEN);
-        footer.extend_from_slice(&FOOTER_MAGIC);
-        footer.extend_from_slice(&(table_offset as u64).to_le_bytes());
-        footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        footer.extend_from_slice(&generation.to_le_bytes());
-        let mut h = Fnv1a::new();
-        h.update(&out[table_offset..]);
-        h.update(&footer);
-        footer.extend_from_slice(&h.finish().to_le_bytes());
-        out.extend_from_slice(&footer);
-        Ok(out)
+        let (entries, table_offset) = self.merge_entries(store.sections().to_vec(), base.len());
+        let (table, footer) = table_and_footer(&entries, table_offset, generation);
+        Ok(AppendTail {
+            table,
+            footer,
+            generation,
+        })
     }
 
     /// Write the assembled container to `w`.
@@ -205,10 +236,66 @@ impl StoreWriter {
         w.write_all(&self.to_bytes())
     }
 
-    /// Write the assembled container to a file path.
-    pub fn save(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+    /// Write the assembled container to a file path **atomically**: the
+    /// bytes stream into `path.tmp`, which is fsynced and renamed over
+    /// `path` (see [`crate::io::save_atomic`]) — a crash mid-save
+    /// leaves the previous artifact intact.
+    pub fn save(&self, path: &str) -> Result<(), StoreError> {
+        crate::io::save_atomic(
+            &crate::io::RealFs,
+            path,
+            self,
+            crate::io::RetryPolicy::default(),
+        )
     }
+}
+
+/// The superseding table + footer of a planned durable append (see
+/// [`StoreWriter::append_tail`]).
+#[derive(Debug)]
+pub(crate) struct AppendTail {
+    /// Superseding section-table bytes, placed at the end of the new
+    /// payload region.
+    pub table: Vec<u8>,
+    /// The 40-byte commit footer.
+    pub footer: Vec<u8>,
+    /// Footer generation (base + 1).
+    pub generation: u64,
+}
+
+/// The incremented footer generation, or a typed overflow error.
+fn next_generation(store: &Store<'_>) -> Result<u64, StoreError> {
+    store
+        .generation()
+        .checked_add(1)
+        .ok_or_else(|| StoreError::Malformed("append generation counter overflows".into()))
+}
+
+/// Encode a superseding section table at `table_offset` and its
+/// checksummed footer.
+fn table_and_footer(
+    entries: &[SectionEntry],
+    table_offset: usize,
+    generation: u64,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut table = Vec::with_capacity(entries.len() * crate::SECTION_ENTRY_LEN);
+    for e in entries {
+        table.extend_from_slice(&e.kind.to_le_bytes());
+        table.extend_from_slice(&e.tag.to_le_bytes());
+        table.extend_from_slice(&(e.offset as u64).to_le_bytes());
+        table.extend_from_slice(&(e.len as u64).to_le_bytes());
+        table.extend_from_slice(&e.checksum.to_le_bytes());
+    }
+    let mut footer = Vec::with_capacity(FOOTER_LEN);
+    footer.extend_from_slice(&FOOTER_MAGIC);
+    footer.extend_from_slice(&(table_offset as u64).to_le_bytes());
+    footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&generation.to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.update(&table);
+    h.update(&footer);
+    footer.extend_from_slice(&h.finish().to_le_bytes());
+    (table, footer)
 }
 
 impl Default for StoreWriter {

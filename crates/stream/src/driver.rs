@@ -277,9 +277,13 @@ impl StreamDriver {
         self.checkpoint_writer()?.append_to(base)
     }
 
-    /// Stage every checkpoint section into a writer (shared by the
-    /// rewrite and append paths).
-    fn checkpoint_writer(&self) -> Result<StoreWriter, StoreError> {
+    /// Stage every checkpoint section into a [`StoreWriter`] without
+    /// serialising it (shared by the rewrite and append paths). Callers
+    /// that control their own durability — e.g. the CLI routing
+    /// checkpoints through `casbn_store::io::save_atomic` /
+    /// `append_durable` — take the writer and hand it to the crash-safe
+    /// I/O layer instead of materialising bytes in memory first.
+    pub fn checkpoint_writer(&self) -> Result<StoreWriter, StoreError> {
         let mut w = StoreWriter::new();
 
         // online-correlation accumulator state
