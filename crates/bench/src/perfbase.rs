@@ -25,9 +25,11 @@ use casbn_distsim::CostModel;
 use casbn_expr::{CorrelationNetwork, DatasetPreset, SyntheticMicroarray};
 use casbn_graph::{DeltaGraph, EdgeDelta, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster_into, Cluster, McodeParams, McodeScratch};
+use casbn_serve::{run_script, Request, ServeEngine, SessionConfig};
 use casbn_store::{Store, StoreWriter};
 use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Default dataset scale of the committed baseline (`casbn bench`).
@@ -266,6 +268,7 @@ fn mcode_workload(name: &str, g: &Graph, repeats: usize) -> WorkloadResult {
 /// | `nocomm-yng-p8` | no-comm parallel chordal filter, 8 ranks |
 /// | `stream-yng` | streaming batch ingest: full window pipeline over the YNG replay (sim = online-correlation ingest cost) |
 /// | `inc-chordal-yng` | incremental chordal delta maintenance alone over the same delta stream |
+/// | `serve-qps-yng` | serving tier under concurrent ingest: writer advances every window while 4 readers replay probes against registry snapshots (checksum = pinned-script response checksum) |
 pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
     let mut results = Vec::new();
 
@@ -418,6 +421,83 @@ pub fn run_suite(scale: f64, repeats: usize) -> PerfSuite {
         wall_seconds: wall,
         sim_seconds: sim,
         checksum: retained as u64,
+        counters,
+    });
+
+    // Serving workload: the resident query tier (crates/serve) under
+    // concurrent ingest. The deterministic metric comes from a pinned
+    // query script replayed single-threaded outside the timed region —
+    // the same response-checksum gate the CI serve-smoke pins. The
+    // timed region then rebuilds the engine and runs the shape the
+    // daemon serves in production: a writer ingesting every window
+    // (one snapshot rotation each) while 4 reader threads loop
+    // read-only probes against whatever snapshot the registry
+    // currently publishes.
+    let probes: Vec<Request> = {
+        let mut s = vec![Request::Stats];
+        for gene in 0..4u32 {
+            s.push(Request::Neighborhood { gene });
+            s.push(Request::ClusterOf { gene });
+        }
+        s.push(Request::Rho { u: 0, v: 1 });
+        s.push(Request::Rho { u: 1, v: 2 });
+        s.push(Request::Enrich {
+            genes: vec![0, 1, 2, 3],
+        });
+        s
+    };
+    // the YNG replay ships 4 windows (8 arrays, batch 2): probe each
+    // epoch, with ingest barriers advancing the stream between them
+    let script: Vec<Request> = {
+        let mut s = Vec::new();
+        for windows in [1u32, 1, 2] {
+            s.extend(probes.iter().cloned());
+            s.push(Request::Ingest { windows });
+        }
+        s.extend(probes.iter().cloned());
+        s
+    };
+    let script_checksum = {
+        let mut eng = ServeEngine::from_replay(replay.clone(), cfg);
+        let (report, _) = run_script(&mut eng, &script, &SessionConfig::default())
+            .expect("pinned serve script replays");
+        report.responses_checksum
+    };
+    let (wall, counters, _served) = timed_counted(repeats, || {
+        let mut eng = ServeEngine::from_replay(replay.clone(), cfg);
+        let registry = eng.registry();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut answered = 0u64;
+                        while !done.load(Ordering::Relaxed) {
+                            let snap = registry.acquire();
+                            for q in &probes {
+                                let _ = snap.answer(q);
+                                answered += 1;
+                            }
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            let remaining = eng.remaining_windows();
+            eng.ingest_windows(remaining)
+                .expect("bench replay ingests every window");
+            done.store(true, Ordering::Relaxed);
+            readers
+                .into_iter()
+                .map(|h| h.join().expect("reader thread joins"))
+                .sum::<u64>()
+        })
+    });
+    results.push(WorkloadResult {
+        name: "serve-qps-yng".into(),
+        wall_seconds: wall,
+        sim_seconds: 0.0,
+        checksum: script_checksum,
         counters,
     });
 
@@ -647,6 +727,7 @@ mod tests {
             "nocomm-yng-p8",
             "stream-yng",
             "inc-chordal-yng",
+            "serve-qps-yng",
         ] {
             assert!(names.contains(&expected), "missing workload {expected}");
         }

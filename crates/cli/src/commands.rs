@@ -11,6 +11,10 @@ use casbn_fuzz::{Execution, FuzzConfig};
 use casbn_graph::io::{read_edge_list, write_edge_list};
 use casbn_graph::{store as graph_store, Graph, PartitionKind};
 use casbn_mcode::{mcode_cluster, store as mcode_store, Cluster, McodeParams};
+use casbn_serve::{
+    install_sigint_handler, parse_script, run_script, serve_session, serve_tcp, shutdown_flag,
+    ServeEngine, SessionConfig, BATCH_MAX,
+};
 use casbn_store::io::{append_durable, save_atomic, write_atomic, RealFs, RetryPolicy};
 use casbn_store::{is_store_bytes, SectionKind, Store, StoreWriter};
 use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
@@ -37,6 +41,10 @@ USAGE:
                  [--out FILE] [--replay-out FILE] [--expect-checksum N]
                  [--checkpoint FILE] [--resume FILE [--degraded]]
                  [--windows N] [--io-retries N] [--metrics FILE|-]
+  casbn serve    (--in FILE | --preset P [--scale F] [--samples N])
+                 [--script FILE] [--listen ADDR] [--threads N] [--batch N]
+                 [--checkpoint FILE] [--expect-checksum N] [--io-retries N]
+                 [--metrics FILE|-]
   casbn pack     --in FILE --kind graph|replay|clusters --out FILE
   casbn inspect  --in FILE [--json] [--degraded] [--metrics FILE|-]
   casbn verify   --in FILE [--metrics FILE|-]
@@ -81,16 +89,20 @@ FLAGS:
                against --baseline to FILE (the CI job-summary artifact)
   --samples    `stream` sample count of a synthesized replay (default:
                the preset's native array count)
-  --batch      `stream` samples ingested per window (default 2)
+  --batch      `stream` samples ingested per window (default 2); for
+               `serve`: queries buffered per batch dispatch (default 16)
   --min-rho    `stream` correlation retention threshold (default 0.95)
   --replay-out write the synthesized replay to FILE (sample-major rows,
                re-playable with `casbn stream --in FILE`)
   --expect-checksum
                fail (exit 1) unless the run's deterministic checksum
-               matches N — the CI streaming smoke gate
+               matches N — the CI streaming smoke gate (for `serve
+               --script`: the FNV checksum over the response bytes)
   --checkpoint `stream`: write a resumable .csbn checkpoint of the
                accumulators/network/chordal state to FILE after the run
-               (appended in place when FILE is already a container)
+               (appended in place when FILE is already a container);
+               `serve`: write one durable checkpoint per ingested window
+               and a final one at shutdown
   --resume     `stream`: restore state from a checkpoint FILE and
                continue the replay exactly where it stopped
   --windows    `stream`: ingest at most N windows this run (pair with
@@ -106,9 +118,18 @@ FLAGS:
                never wall-clock backoff)
   --kind       what `pack` reads from --in: graph (edge list), replay
                (sample-major matrix), clusters (cluster --json output)
+  --script     `serve`: replay a query script (one query per line:
+               neigh G | cluster G | rho U V | enrich G… | stats |
+               ingest N) through an in-process session and print
+               `responses N checksum C` — the deterministic client mode
+  --listen     `serve`: accept concurrent read-only TCP sessions on ADDR
+               (e.g. 127.0.0.1:7878) until SIGINT; a streaming source
+               ingests concurrently, rotating snapshots per window
+  --threads    `serve` worker threads per query batch (default 1; the
+               response bytes are identical for any value)
   --target     `fuzz` input surface: edge-list | replay | csbn |
                csbn-lazy | csbn-append | csbn-crash | checkpoint-resume |
-               cli-argv | all (default all)
+               csbn-serve | cli-argv | all (default all)
   --iters      `fuzz` iterations per target (default 1000)
   --corpus     `fuzz` corpus directory: DIR/<target>/ files replay as a
                regression suite, and new crashers are written back there
@@ -121,9 +142,11 @@ ALGO: chordal-seq | chordal-nocomm | chordal-comm | randomwalk |
 `pack` converts text artifacts into .csbn containers; `inspect` prints a
 container's section table; `verify` validates every checksum (exit 1 on
 corruption). `stats` on a .csbn input reports the container metadata
-alongside the graph statistics. `fuzz` runs the deterministic
-structure-aware fuzzing and differential-oracle harness over every
-input surface (see `casbn fuzz --help`).
+alongside the graph statistics. `serve` holds the network, clusters and
+rho/enrichment indices resident and answers queries over a
+length-prefixed protocol (see `casbn serve --help`). `fuzz` runs the
+deterministic structure-aware fuzzing and differential-oracle harness
+over every input surface (see `casbn fuzz --help`).
 ";
 
 /// `casbn bench --help` text (also asserted verbatim by the CLI snapshot
@@ -250,8 +273,8 @@ USAGE:
 
 FLAGS:
   --target     one of edge-list | replay | csbn | csbn-lazy |
-               csbn-append | csbn-crash | checkpoint-resume | cli-argv,
-               or all (default all)
+               csbn-append | csbn-crash | checkpoint-resume |
+               csbn-serve | cli-argv, or all (default all)
   --iters      fuzzing iterations per target (default 1000)
   --seed       campaign seed; equal seeds give identical iteration
                traces (default 0)
@@ -263,6 +286,70 @@ FLAGS:
                writes FILE.min
 
 Exit codes: 0 clean, 1 crashes found, 2 usage error.
+";
+
+/// `casbn serve --help` text (also asserted verbatim by the CLI snapshot
+/// tests).
+pub const SERVE_USAGE: &str = "\
+casbn serve — resident concurrent query daemon over the pipeline
+
+Holds the current network, its MCODE clusters and the rho/enrichment
+indices resident, and answers queries over a length-prefixed
+request/response protocol: gene neighborhood, cluster membership, rho
+lookup, gene-set enrichment, snapshot statistics. Decoded queries are
+grouped into batches of up to 16 and dispatched onto a worker pool; the
+response bytes are identical for any --threads value.
+
+A --preset (or .csbn matrix) source streams: `ingest N` requests advance
+the replay window by window, each boundary atomically publishing a new
+immutable snapshot — concurrent readers keep answering from the
+snapshot they hold, never observing a half-published state — and, with
+--checkpoint, a durable recovery point. A packed graph or edge-list
+source serves a static epoch-0 snapshot and rejects ingest.
+
+Modes (in precedence order):
+  --script FILE  deterministic client: replay a query script through an
+                 in-process session, print `responses N checksum C`
+  --listen ADDR  daemon: accept concurrent read-only TCP sessions until
+                 SIGINT; a streaming source ingests all windows
+                 concurrently, rotating snapshots as readers query
+  (neither)      pipe mode: one session over stdin/stdout (the
+                 deterministic test transport); SIGINT or EOF drains
+                 in-flight batches and writes a final checkpoint
+
+USAGE:
+  casbn serve (--in FILE | --preset yng|mid|unt|cre [--scale F] [--samples N])
+              [--script FILE] [--listen ADDR] [--threads N] [--batch N]
+              [--checkpoint FILE] [--expect-checksum N] [--io-retries N]
+              [--metrics FILE|-]
+
+FLAGS:
+  --in         a .csbn container (a graph section serves static, a
+               matrix section serves streaming) or an edge-list file
+  --preset     synthesize a streaming replay from a dataset preset
+  --scale      dataset size fraction of the synthesized replay (default 1.0)
+  --samples    sample count of the synthesized replay (default: the
+               preset's native array count)
+  --script     query script FILE: one query per line — neigh G |
+               cluster G | rho U V | enrich G G… | stats | ingest N;
+               `#` comments and blank lines are skipped
+  --listen     TCP listen address, e.g. 127.0.0.1:7878
+  --threads    worker threads per batch dispatch (default 1)
+  --batch      queries buffered per dispatch, 1..=16 (default 16)
+  --checkpoint durable .csbn checkpoint FILE: written after every
+               ingested window and at shutdown (atomic replace first,
+               then appended in place as durable generations);
+               `casbn stream --resume FILE` and `casbn serve --in`
+               accept the result
+  --expect-checksum
+               with --script: exit 1 unless the FNV-1a checksum over
+               the response bytes matches N — the CI serve-smoke gate
+  --io-retries transient I/O retry budget per write (default 4)
+  --metrics    write the run's telemetry snapshot (serve.requests,
+               serve.batch_size, serve.snapshot_rotations, per-query
+               sim-cost counters) to FILE as JSON, `-` for stderr table
+
+Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
 ";
 
 fn fail(msg: &str) -> i32 {
@@ -1067,6 +1154,236 @@ pub fn stream(argv: &[String]) -> i32 {
     }
 }
 
+/// `casbn serve` — resident concurrent query daemon over the pipeline
+/// (see [`SERVE_USAGE`] for the protocol and mode reference).
+/// Exit codes: 0 ok, 1 checksum mismatch, 2 usage/configuration error.
+pub fn serve(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{SERVE_USAGE}");
+        return 0;
+    }
+    let mut checksum_mismatch = false;
+    let mut run = || -> Result<(), String> {
+        let args = Args::parse(argv)?;
+        // a typo'd flag here could silently drop the checksum gate
+        args.reject_unknown(
+            &[
+                "in",
+                "preset",
+                "scale",
+                "samples",
+                "script",
+                "listen",
+                "threads",
+                "batch",
+                "checkpoint",
+                "expect-checksum",
+                "io-retries",
+                "metrics",
+            ],
+            &[],
+        )?;
+        let metrics = metrics_begin(&args);
+        let policy = RetryPolicy::new(args.get_or("io-retries", 4)?);
+        let threads: usize = args.get_or("threads", 1)?;
+        let batch: usize = args.get_or("batch", BATCH_MAX)?;
+        if threads == 0 || batch == 0 || batch > BATCH_MAX {
+            return Err(format!(
+                "need --threads > 0 and 1 <= --batch <= {BATCH_MAX}"
+            ));
+        }
+        let cfg = SessionConfig {
+            threads,
+            batch_max: batch,
+        };
+        if args.get("expect-checksum").is_some() && args.get("script").is_none() {
+            return Err("--expect-checksum gates a --script run".into());
+        }
+
+        // source → engine: a .csbn graph section (or edge list) serves a
+        // static snapshot; a matrix section or --preset replay streams
+        let mut engine = match (args.get("in"), args.get("preset")) {
+            (Some(_), Some(_)) => {
+                return Err("--in and --preset are mutually exclusive".into());
+            }
+            (Some(path), None) => {
+                for flag in ["scale", "samples"] {
+                    if args.get(flag).is_some() {
+                        return Err(format!(
+                            "--{flag} only applies to --preset sources, not --in files"
+                        ));
+                    }
+                }
+                let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+                if is_store_bytes(&bytes) {
+                    let store = Store::open_lazy(&bytes).map_err(|e| format!("{path}: {e}"))?;
+                    match graph_store::load_first_graph(&store) {
+                        Ok(g) => ServeEngine::from_graph(g, &McodeParams::default()),
+                        Err(graph_err) => {
+                            let m = casbn_expr::store::load_first_matrix(&store).map_err(|_| {
+                                format!("{path}: no servable graph or matrix section ({graph_err})")
+                            })?;
+                            ServeEngine::from_replay(m, StreamConfig::default())
+                        }
+                    }
+                } else {
+                    let (g, _) =
+                        read_edge_list(&bytes[..], 0).map_err(|e| format!("{path}: {e}"))?;
+                    ServeEngine::from_graph(g, &McodeParams::default())
+                }
+            }
+            (None, Some(preset)) => {
+                let preset = match preset {
+                    "yng" => DatasetPreset::Yng,
+                    "mid" => DatasetPreset::Mid,
+                    "unt" => DatasetPreset::Unt,
+                    "cre" => DatasetPreset::Cre,
+                    other => return Err(format!("unknown preset {other}")),
+                };
+                let scale: f64 = args.get_or("scale", 1.0)?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err("need --scale > 0".into());
+                }
+                let samples = match args.get("samples") {
+                    Some(s) => Some(
+                        s.parse::<usize>()
+                            .map_err(|_| format!("invalid --samples: {s}"))?,
+                    ),
+                    None => None,
+                };
+                ServeEngine::from_replay(
+                    synthesize_replay(preset, scale, samples),
+                    StreamConfig::default(),
+                )
+            }
+            (None, None) => return Err("need --in FILE or --preset".into()),
+        };
+
+        if let Some(path) = args.get("checkpoint") {
+            if !engine.can_ingest() {
+                return Err(
+                    "--checkpoint needs a streaming source (a static artifact has no \
+                     stream state to checkpoint)"
+                        .into(),
+                );
+            }
+            // same durability discipline as `casbn stream --checkpoint`:
+            // a fresh FILE is written atomically, an existing container
+            // gains durable in-place generations — one per window
+            // boundary plus the final shutdown checkpoint
+            let path = path.to_string();
+            engine.set_checkpoint_sink(Box::new(move |w| {
+                if is_csbn_file(&path) {
+                    append_durable(&RealFs, &path, w, policy)
+                        .map(drop)
+                        .map_err(|e| format!("append checkpoint {path}: {e}"))
+                } else {
+                    save_atomic(&RealFs, &path, w, policy)
+                        .map_err(|e| format!("write checkpoint {path}: {e}"))
+                }
+            }));
+        }
+
+        {
+            let snap = engine.snapshot();
+            eprintln!(
+                "serving epoch {}: {} genes, {} network edges, {} clusters{}",
+                snap.epoch(),
+                snap.network().n(),
+                snap.network().m(),
+                snap.clusters().len(),
+                if engine.can_ingest() {
+                    format!(", {} window(s) ingestable", engine.remaining_windows())
+                } else {
+                    " (static)".to_string()
+                },
+            );
+        }
+
+        if let Some(path) = args.get("script") {
+            // deterministic client mode: the in-process session the CI
+            // serve-smoke gate and the determinism suite replay
+            let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+            let script = parse_script(&text).map_err(|e| format!("{path}: {e}"))?;
+            let (report, _) = run_script(&mut engine, &script, &cfg)
+                .map_err(|e| format!("script session: {e}"))?;
+            engine.final_checkpoint()?;
+            println!(
+                "responses {} checksum {}",
+                report.requests, report.responses_checksum
+            );
+            if let Some(expect) = args.get("expect-checksum") {
+                let expect: u64 = expect
+                    .parse()
+                    .map_err(|_| format!("invalid --expect-checksum: {expect}"))?;
+                if expect != report.responses_checksum {
+                    eprintln!(
+                        "checksum mismatch: expected {expect}, got {}",
+                        report.responses_checksum
+                    );
+                    checksum_mismatch = true;
+                }
+            }
+        } else if let Some(addr) = args.get("listen") {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            install_sigint_handler();
+            eprintln!("listening on {addr} (SIGINT to stop)");
+            // the writer thread ingests the whole stream while the TCP
+            // sessions read — every window boundary rotates the shared
+            // snapshot without blocking either side
+            let registry = engine.registry();
+            let sessions = std::thread::scope(|scope| -> Result<u64, String> {
+                let writer = scope.spawn(move || -> Result<(), String> {
+                    let n = engine.remaining_windows();
+                    if n > 0 {
+                        let (run, epoch) = engine.ingest_windows(n)?;
+                        eprintln!("ingested {run} window(s); snapshot epoch {epoch}");
+                    }
+                    engine.final_checkpoint()?;
+                    Ok(())
+                });
+                let sessions = serve_tcp(registry, listener, &cfg, shutdown_flag())
+                    .map_err(|e| format!("serve: {e}"))?;
+                writer.join().expect("writer thread panicked")?;
+                Ok(sessions)
+            })?;
+            eprintln!("served {sessions} session(s)");
+        } else {
+            // pipe mode: one full (writer) session over stdin/stdout
+            install_sigint_handler();
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let report = serve_session(
+                &mut engine,
+                stdin.lock(),
+                stdout.lock(),
+                &cfg,
+                shutdown_flag(),
+            )
+            .map_err(|e| format!("session: {e}"))?;
+            engine.final_checkpoint()?;
+            eprintln!(
+                "session over: {} request(s) in {} batch(es), checksum {}{}",
+                report.requests,
+                report.batches,
+                report.responses_checksum,
+                if report.drained_on_shutdown {
+                    " (drained on shutdown)"
+                } else {
+                    ""
+                }
+            );
+        }
+        metrics_finish(metrics)
+    };
+    match run() {
+        Err(e) => fail(&e),
+        Ok(()) if checksum_mismatch => 1,
+        Ok(()) => 0,
+    }
+}
+
 /// `casbn pack` — convert a text artifact (edge-list graph, sample-major
 /// replay, or `cluster --json` output) into a `.csbn` container.
 pub fn pack(argv: &[String]) -> i32 {
@@ -1237,6 +1554,23 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
             ],
             &["json", "degraded"],
         ),
+        "serve" => (
+            &[
+                "in",
+                "preset",
+                "scale",
+                "samples",
+                "script",
+                "listen",
+                "threads",
+                "batch",
+                "checkpoint",
+                "expect-checksum",
+                "io-retries",
+                "metrics",
+            ],
+            &[],
+        ),
         "pack" => (&["in", "kind", "out"], &[]),
         "inspect" => (&["in", "metrics"], &["json", "degraded"]),
         "verify" => (&["in", "metrics"], &[]),
@@ -1255,7 +1589,7 @@ pub fn fuzz_argv_check(argv: &[String]) -> Result<(), String> {
         let _: f64 = args.get_or(key, 0.0)?;
     }
     for key in [
-        "ranks", "repeats", "min-size", "samples", "batch", "windows",
+        "ranks", "repeats", "min-size", "samples", "batch", "windows", "threads",
     ] {
         let _: usize = args.get_or(key, 1)?;
     }

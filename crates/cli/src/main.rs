@@ -20,6 +20,7 @@ fn main() {
         Some("compare") => commands::compare(&argv[1..]),
         Some("bench") => commands::bench(&argv[1..]),
         Some("stream") => commands::stream(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
         Some("pack") => commands::pack(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),
         Some("verify") => commands::verify(&argv[1..]),

@@ -2,7 +2,7 @@
 //! [`commands::USAGE`], and `USAGE` documents exactly the flags the
 //! subcommands parse.
 
-use casbn_cli::commands::{BENCH_USAGE, FUZZ_USAGE, STREAM_USAGE, USAGE};
+use casbn_cli::commands::{BENCH_USAGE, FUZZ_USAGE, SERVE_USAGE, STREAM_USAGE, USAGE};
 use std::process::Command;
 
 /// Every `--flag` a subcommand reads via `Args` (grep `args.(get|require|
@@ -44,6 +44,9 @@ const PARSED_FLAGS: &[&str] = &[
     "--corpus",
     "--minimize",
     "--metrics",
+    "--script",
+    "--listen",
+    "--threads",
 ];
 
 /// The `bench` flags, also documented in the subcommand's own help.
@@ -81,6 +84,22 @@ const STREAM_FLAGS: &[&str] = &[
 
 /// The `fuzz` flags, also documented in the subcommand's own help.
 const FUZZ_FLAGS: &[&str] = &["--target", "--iters", "--seed", "--corpus", "--minimize"];
+
+/// The `serve` flags, also documented in the subcommand's own help.
+const SERVE_FLAGS: &[&str] = &[
+    "--in",
+    "--preset",
+    "--scale",
+    "--samples",
+    "--script",
+    "--listen",
+    "--threads",
+    "--batch",
+    "--checkpoint",
+    "--expect-checksum",
+    "--io-retries",
+    "--metrics",
+];
 
 #[test]
 fn help_snapshot_matches_usage_constant() {
@@ -185,6 +204,27 @@ fn fuzz_usage_documents_every_fuzz_flag() {
 }
 
 #[test]
+fn serve_help_snapshot_matches_serve_usage_constant() {
+    let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
+        .args(["serve", "--help"])
+        .output()
+        .expect("run casbn serve --help");
+    assert!(out.status.success(), "serve --help exited nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 help output");
+    assert_eq!(stdout, SERVE_USAGE, "serve help drifted from SERVE_USAGE");
+}
+
+#[test]
+fn serve_usage_documents_every_serve_flag() {
+    for flag in SERVE_FLAGS {
+        assert!(
+            SERVE_USAGE.contains(flag),
+            "SERVE_USAGE is missing `{flag}`"
+        );
+    }
+}
+
+#[test]
 fn fuzz_rejects_bad_inputs() {
     // unknown target name
     let out = Command::new(env!("CARGO_BIN_EXE_casbn"))
@@ -277,8 +317,8 @@ fn bench_rejects_bad_scale() {
 #[test]
 fn usage_names_every_subcommand_and_algorithm() {
     for sub in [
-        "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "pack", "inspect",
-        "verify", "fuzz", "help",
+        "generate", "filter", "cluster", "stats", "compare", "bench", "stream", "serve", "pack",
+        "inspect", "verify", "fuzz", "help",
     ] {
         assert!(
             USAGE.contains(&format!("casbn {sub}")),

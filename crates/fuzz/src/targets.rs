@@ -27,6 +27,7 @@ use casbn_graph::store as graph_store;
 use casbn_graph::{generators::gnm, DeltaGraph, EdgeDelta};
 use casbn_mcode::store as mcode_store;
 use casbn_mcode::Cluster;
+use casbn_serve::protocol as serve_protocol;
 use casbn_store::{is_store_bytes, SectionKind, Store, StoreWriter, MAGIC};
 use casbn_stream::{read_replay, synthesize_replay, write_replay, StreamConfig, StreamDriver};
 
@@ -61,7 +62,7 @@ pub trait Target {
 /// `Err` is the parser's typed rejection.
 pub type ArgvCheck = fn(&[String]) -> Result<(), String>;
 
-/// The seven targets that need no injection.
+/// The eight targets that need no injection.
 pub fn builtin_targets() -> Vec<Box<dyn Target>> {
     vec![
         Box::new(EdgeListTarget),
@@ -71,10 +72,11 @@ pub fn builtin_targets() -> Vec<Box<dyn Target>> {
         Box::new(AppendTarget),
         Box::new(CrashTarget),
         Box::new(CheckpointTarget::new()),
+        Box::new(ServeTarget),
     ]
 }
 
-/// All eight targets, with the CLI argv surface wired to `check`.
+/// All nine targets, with the CLI argv surface wired to `check`.
 pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
     let mut ts = builtin_targets();
     ts.push(Box::new(ArgvTarget { check }));
@@ -82,7 +84,7 @@ pub fn all_targets(check: ArgvCheck) -> Vec<Box<dyn Target>> {
 }
 
 /// Registry names in canonical order.
-pub const TARGET_NAMES: [&str; 8] = [
+pub const TARGET_NAMES: [&str; 9] = [
     "edge-list",
     "replay",
     "csbn",
@@ -90,6 +92,7 @@ pub const TARGET_NAMES: [&str; 8] = [
     "csbn-append",
     "csbn-crash",
     "checkpoint-resume",
+    "csbn-serve",
     "cli-argv",
 ];
 
@@ -1103,6 +1106,140 @@ impl Target for CheckpointTarget {
     }
 }
 
+// --------------------------------------------------------------- csbn-serve
+
+/// The serve daemon's wire protocol (`casbn_serve::protocol`) — a
+/// length-prefixed frame stream feeding the request decoder, the first
+/// surface a *remote* peer reaches. The invariants:
+///
+/// 1. framing and decoding reject malformed input with a typed error —
+///    never a panic, never an unbounded allocation (frame lengths and
+///    gene counts are capped before any buffer is sized);
+/// 2. every accepted request is **canonical**: decode → re-encode
+///    reproduces the exact payload bytes, and the re-encoded frame
+///    decodes back to an equal request — so a frame's bytes are a
+///    unique spelling of its meaning (the property the pinned-script
+///    response checksums rely on);
+/// 3. the response decoder holds the same canonical oracle over
+///    whatever payloads it accepts (a hostile server cannot desync a
+///    scripted client without a typed error surfacing).
+struct ServeTarget;
+
+impl ServeTarget {
+    /// A structurally valid request of a random kind.
+    fn valid_request(rng: &mut FuzzRng) -> serve_protocol::Request {
+        use serve_protocol::Request;
+        match rng.below(6) {
+            0 => Request::Neighborhood {
+                gene: rng.below(4096) as u32,
+            },
+            1 => Request::ClusterOf {
+                gene: rng.interesting_u64() as u32,
+            },
+            2 => Request::Rho {
+                u: rng.below(4096) as u32,
+                v: rng.interesting_u64() as u32,
+            },
+            3 => Request::Enrich {
+                genes: (0..rng.below(12)).map(|_| rng.below(4096) as u32).collect(),
+            },
+            4 => Request::Stats,
+            _ => Request::Ingest {
+                windows: rng.range(1, 16) as u32,
+            },
+        }
+    }
+}
+
+impl Target for ServeTarget {
+    fn name(&self) -> &'static str {
+        "csbn-serve"
+    }
+
+    fn generate(&mut self, rng: &mut FuzzRng) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for _ in 0..rng.below(5) {
+            bytes.extend_from_slice(&Self::valid_request(rng).encode_frame());
+        }
+        if rng.chance(1, 6) {
+            // a hostile header: an arbitrary length prefix over noise
+            bytes.extend_from_slice(&(rng.interesting_u64() as u32).to_le_bytes());
+            let mut tail = vec![0u8; rng.below(32)];
+            rng.fill(&mut tail);
+            bytes.extend_from_slice(&tail);
+        }
+        if rng.chance(1, 2) {
+            let rounds = rng.range(1, 8);
+            mutate(&mut bytes, rng, rounds);
+        }
+        bytes
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<Outcome, String> {
+        use serve_protocol::{split_frame, Request, Response};
+        let mut rest = input;
+        let mut any_accepted = false;
+        loop {
+            let (payload, tail) = match split_frame(rest) {
+                Err(e) => {
+                    if e.to_string().is_empty() {
+                        return Err("framing error with empty Display".into());
+                    }
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(None) => break,
+                Ok(Some(split)) => split,
+            };
+            match Request::decode_payload(payload) {
+                Err(e) => {
+                    if e.to_string().is_empty() {
+                        return Err("request rejection with empty Display".into());
+                    }
+                    return Ok(Outcome::Rejected);
+                }
+                Ok(req) => {
+                    // oracle: the payload is the canonical spelling
+                    let re = req.encode_payload();
+                    if re != payload {
+                        return Err(format!(
+                            "request decoded but did not re-encode identically \
+                             ({} bytes in, {} bytes out)",
+                            payload.len(),
+                            re.len()
+                        ));
+                    }
+                    let back = Request::decode_payload(&re)
+                        .map_err(|e| format!("re-encoded request rejected: {e}"))?;
+                    if back != req {
+                        return Err("request round-trip changed the request".into());
+                    }
+                    any_accepted = true;
+                }
+            }
+            // the response decoder shares the payload grammar's
+            // canonical-oracle obligation over whatever it accepts
+            match Response::decode_payload(payload) {
+                Ok(resp) => {
+                    if resp.encode_payload() != payload {
+                        return Err("response decoded but did not re-encode identically".into());
+                    }
+                }
+                Err(e) => {
+                    if e.to_string().is_empty() {
+                        return Err("response rejection with empty Display".into());
+                    }
+                }
+            }
+            rest = tail;
+        }
+        Ok(if any_accepted {
+            Outcome::Accepted
+        } else {
+            Outcome::Rejected
+        })
+    }
+}
+
 // ----------------------------------------------------------------- cli-argv
 
 /// CLI argv vectors, encoded one token per `\n`-separated line. The
@@ -1137,6 +1274,7 @@ impl Target for ArgvTarget {
             "compare",
             "bench",
             "stream",
+            "serve",
             "pack",
             "inspect",
             "verify",
@@ -1177,6 +1315,9 @@ impl Target for ArgvTarget {
             "--iters",
             "--corpus",
             "--minimize",
+            "--script",
+            "--listen",
+            "--threads",
             "--",
             "---x",
             "--=",
@@ -1311,6 +1452,40 @@ mod tests {
         // truncated checkpoint: typed rejection
         let cut = &pristine[0][..pristine[0].len() - 3];
         assert_eq!(t.run(cut).unwrap(), Outcome::Rejected);
+    }
+
+    #[test]
+    fn serve_target_oracles_hold_on_handcrafted_frames() {
+        use serve_protocol::Request;
+        let mut t = ServeTarget;
+        // a clean multi-request stream is accepted
+        let mut stream = Vec::new();
+        for req in [
+            Request::Stats,
+            Request::Neighborhood { gene: 3 },
+            Request::Enrich {
+                genes: vec![0, 1, 2],
+            },
+            Request::Ingest { windows: 2 },
+        ] {
+            stream.extend_from_slice(&req.encode_frame());
+        }
+        assert_eq!(t.run(&stream).unwrap(), Outcome::Accepted);
+        // typed rejections: empty, unknown opcode, oversize length,
+        // truncated frame, over-cap enrich count
+        assert_eq!(t.run(b"").unwrap(), Outcome::Rejected);
+        assert_eq!(t.run(&[4, 0, 0, 0, 9, 0, 0, 0]).unwrap(), Outcome::Rejected);
+        assert_eq!(t.run(&[0xff, 0xff, 0xff, 0xff]).unwrap(), Outcome::Rejected);
+        assert_eq!(t.run(&[8, 0, 0, 0, 1, 0, 0, 0]).unwrap(), Outcome::Rejected);
+        assert_eq!(
+            t.run(&[8, 0, 0, 0, 4, 0, 0, 0, 0xff, 0xff, 0, 0]).unwrap(),
+            Outcome::Rejected
+        );
+        // a valid frame with trailing garbage rejects at the tail but
+        // never panics
+        let mut tail = Request::Stats.encode_frame();
+        tail.extend_from_slice(&[9, 9]);
+        assert_eq!(t.run(&tail).unwrap(), Outcome::Rejected);
     }
 
     #[test]

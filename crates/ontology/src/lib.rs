@@ -24,4 +24,4 @@ pub mod node_enrichment;
 
 pub use dag::{GoDag, TermId};
 pub use enrichment::{AnnotatedOntology, ClusterAnnotation, EnrichmentScorer};
-pub use node_enrichment::{enrich_cluster, hypergeometric_tail, EnrichedTerm};
+pub use node_enrichment::{enrich_cluster, hypergeometric_tail, EnrichedTerm, EnrichmentIndex};

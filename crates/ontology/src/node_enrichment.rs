@@ -67,50 +67,94 @@ fn ln_factorial(n: usize) -> f64 {
     }
 }
 
+/// Resident background-frequency index for repeated enrichment queries.
+///
+/// [`enrich_cluster`] rebuilds the background term-frequency table on
+/// every call — fine for a one-shot pipeline pass, wasteful for a
+/// serving tier that answers many gene-set queries against the same
+/// annotation snapshot. `EnrichmentIndex` precomputes the table once;
+/// [`EnrichmentIndex::enrich`] then only counts terms inside the query
+/// set.
+#[derive(Clone, Debug)]
+pub struct EnrichmentIndex {
+    /// Background gene count `N`.
+    n: usize,
+    /// Background annotation frequency per term.
+    bg: BTreeMap<TermId, usize>,
+}
+
+impl EnrichmentIndex {
+    /// Build the background table from an annotated ontology.
+    pub fn new(onto: &AnnotatedOntology) -> EnrichmentIndex {
+        let mut bg: BTreeMap<TermId, usize> = BTreeMap::new();
+        for ann in &onto.annotations {
+            for &t in ann {
+                *bg.entry(t).or_default() += 1;
+            }
+        }
+        EnrichmentIndex {
+            n: onto.annotations.len(),
+            bg,
+        }
+    }
+
+    /// Background gene count the index was built over.
+    pub fn background_genes(&self) -> usize {
+        self.n
+    }
+
+    /// Enriched terms of a gene set, most significant first. Terms are
+    /// tested if at least two set genes carry them; p-values are
+    /// Bonferroni-corrected by the number of tested terms. `onto` must
+    /// be the ontology the index was built from.
+    pub fn enrich(
+        &self,
+        onto: &AnnotatedOntology,
+        genes: &[VertexId],
+        max_p: f64,
+    ) -> Vec<EnrichedTerm> {
+        let mut inside: BTreeMap<TermId, usize> = BTreeMap::new();
+        for &g in genes {
+            for &t in onto.terms_of(g) {
+                *inside.entry(t).or_default() += 1;
+            }
+        }
+        let tested: Vec<(&TermId, &usize)> = inside.iter().filter(|&(_, &c)| c >= 2).collect();
+        let correction = tested.len().max(1) as f64;
+        let mut out: Vec<EnrichedTerm> = tested
+            .into_iter()
+            .filter_map(|(&t, &x)| {
+                let big_k = self.bg[&t];
+                let p = (hypergeometric_tail(x, genes.len(), big_k, self.n) * correction).min(1.0);
+                (p <= max_p).then_some(EnrichedTerm {
+                    term: t,
+                    in_cluster: x,
+                    in_background: big_k,
+                    p_value: p,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.p_value
+                .partial_cmp(&b.p_value)
+                .unwrap()
+                .then(a.term.cmp(&b.term))
+        });
+        out
+    }
+}
+
 /// Enriched terms of a cluster, most significant first. Terms are tested
 /// if at least two cluster genes carry them; p-values are Bonferroni
-///-corrected by the number of tested terms.
+///-corrected by the number of tested terms. One-shot convenience over
+/// [`EnrichmentIndex`]; build the index directly when querying the same
+/// ontology repeatedly.
 pub fn enrich_cluster(
     onto: &AnnotatedOntology,
     cluster: &[VertexId],
     max_p: f64,
 ) -> Vec<EnrichedTerm> {
-    let n = onto.annotations.len();
-    // background term frequencies
-    let mut bg: BTreeMap<TermId, usize> = BTreeMap::new();
-    for ann in &onto.annotations {
-        for &t in ann {
-            *bg.entry(t).or_default() += 1;
-        }
-    }
-    let mut inside: BTreeMap<TermId, usize> = BTreeMap::new();
-    for &g in cluster {
-        for &t in onto.terms_of(g) {
-            *inside.entry(t).or_default() += 1;
-        }
-    }
-    let tested: Vec<(&TermId, &usize)> = inside.iter().filter(|&(_, &c)| c >= 2).collect();
-    let correction = tested.len().max(1) as f64;
-    let mut out: Vec<EnrichedTerm> = tested
-        .into_iter()
-        .filter_map(|(&t, &x)| {
-            let big_k = bg[&t];
-            let p = (hypergeometric_tail(x, cluster.len(), big_k, n) * correction).min(1.0);
-            (p <= max_p).then_some(EnrichedTerm {
-                term: t,
-                in_cluster: x,
-                in_background: big_k,
-                p_value: p,
-            })
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        a.p_value
-            .partial_cmp(&b.p_value)
-            .unwrap()
-            .then(a.term.cmp(&b.term))
-    });
-    out
+    EnrichmentIndex::new(onto).enrich(onto, cluster, max_p)
 }
 
 #[cfg(test)]
@@ -158,6 +202,24 @@ mod tests {
         assert!(!hits.is_empty(), "module cluster must show enrichment");
         assert!(hits[0].p_value < 1e-4, "top p {}", hits[0].p_value);
         assert!(hits[0].in_cluster >= 5);
+    }
+
+    #[test]
+    fn resident_index_matches_one_shot_path() {
+        let (onto, modules) = setup();
+        let idx = EnrichmentIndex::new(&onto);
+        assert_eq!(idx.background_genes(), 200);
+        for m in &modules {
+            let via_index = idx.enrich(&onto, m, 0.05);
+            let one_shot = enrich_cluster(&onto, m, 0.05);
+            assert_eq!(via_index.len(), one_shot.len());
+            for (a, b) in via_index.iter().zip(&one_shot) {
+                assert_eq!(a.term, b.term);
+                assert_eq!(a.in_cluster, b.in_cluster);
+                assert_eq!(a.in_background, b.in_background);
+                assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+            }
+        }
     }
 
     #[test]

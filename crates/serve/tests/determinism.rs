@@ -1,0 +1,82 @@
+//! Acceptance gate: a pinned query script replayed against a pinned
+//! artifact yields byte-identical responses at 1/2/4/8 worker threads.
+
+use casbn_expr::DatasetPreset;
+use casbn_serve::{parse_script, run_script, ServeEngine, SessionConfig};
+use casbn_stream::{synthesize_replay, StreamConfig};
+
+/// The pinned script: every query kind, ingest barriers between
+/// batches, deliberately unbatchable tail sizes.
+const SCRIPT: &str = "
+stats
+ingest 1
+stats
+neigh 0
+neigh 1
+neigh 2
+cluster 0
+cluster 7
+rho 0 1
+rho 2 3
+enrich 0 1 2 3
+ingest 1
+stats
+neigh 3
+rho 1 2
+enrich 4 5 6 7 8
+ingest 2
+stats
+neigh 4
+cluster 4
+";
+
+fn fresh_engine() -> ServeEngine {
+    let replay = synthesize_replay(DatasetPreset::Yng, 0.02, Some(8));
+    ServeEngine::from_replay(replay, StreamConfig::default())
+}
+
+#[test]
+fn pinned_script_is_byte_identical_across_worker_counts() {
+    let script = parse_script(SCRIPT).unwrap();
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut engine = fresh_engine();
+        let cfg = SessionConfig {
+            threads,
+            ..SessionConfig::default()
+        };
+        let (report, bytes) = run_script(&mut engine, &script, &cfg).unwrap();
+        assert_eq!(report.requests, script.len() as u64);
+        match &baseline {
+            None => baseline = Some((report.responses_checksum, bytes)),
+            Some((checksum, base_bytes)) => {
+                assert_eq!(
+                    report.responses_checksum, *checksum,
+                    "checksum diverged at {threads} threads"
+                );
+                assert_eq!(&bytes, base_bytes, "bytes diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn smaller_batch_caps_change_batching_not_bytes() {
+    let script = parse_script(SCRIPT).unwrap();
+    let reference = {
+        let mut engine = fresh_engine();
+        run_script(&mut engine, &script, &SessionConfig::default())
+            .unwrap()
+            .1
+    };
+    for batch_max in [1usize, 3, 8] {
+        let mut engine = fresh_engine();
+        let cfg = SessionConfig {
+            threads: 4,
+            batch_max,
+        };
+        let (report, bytes) = run_script(&mut engine, &script, &cfg).unwrap();
+        assert_eq!(bytes, reference, "batch cap {batch_max} changed bytes");
+        assert!(report.batches >= 3);
+    }
+}

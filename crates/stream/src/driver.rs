@@ -186,6 +186,22 @@ impl StreamDriver {
         &self.windows
     }
 
+    /// MCODE clusters of the most recent window (empty before the first
+    /// window completes). Part of the snapshot-publication hook: the
+    /// serving tier reads these at each window boundary to build the
+    /// immutable snapshot it rotates under concurrent readers.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Retained correlation edges with their rho values, in canonical
+    /// ascending edge order. The other half of the snapshot-publication
+    /// hook: a freshly materialised rho table for the serving tier's
+    /// resident rho index.
+    pub fn retained_weights(&self) -> Vec<((VertexId, VertexId), f64)> {
+        self.online.weights()
+    }
+
     /// Ingest one window of samples and run the full per-window pipeline.
     pub fn ingest_window(&mut self, batch: &ExpressionMatrix) -> WindowReport {
         let started = Instant::now();

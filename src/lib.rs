@@ -27,6 +27,10 @@
 //! * [`obs`] — deterministic telemetry: sharded counters/histograms,
 //!   RAII spans with a deterministic-vs-wall field split, and versioned
 //!   JSON metric snapshots (surfaced as `casbn <cmd> --metrics`).
+//! * [`serve`] — the resident query daemon: immutable serving
+//!   snapshots with rho/membership/enrichment indices, a batched
+//!   execution core, a length-prefixed request/response protocol, and
+//!   snapshot rotation under concurrent stream ingest (`casbn serve`).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +66,7 @@ pub use casbn_graph as graph;
 pub use casbn_mcode as mcode;
 pub use casbn_obs as obs;
 pub use casbn_ontology as ontology;
+pub use casbn_serve as serve;
 pub use casbn_store as store;
 pub use casbn_stream as stream;
 
@@ -87,6 +92,9 @@ pub mod prelude {
     };
     pub use casbn_mcode::{mcode_cluster, mcode_cluster_into, Cluster, McodeParams, McodeScratch};
     pub use casbn_ontology::{enrich_cluster, AnnotatedOntology, EnrichmentScorer, GoDag};
+    pub use casbn_serve::{
+        Request, Response, ServeEngine, ServeSnapshot, SessionConfig, SnapshotRegistry,
+    };
     pub use casbn_store::{SectionKind, Store, StoreError, StoreWriter};
     pub use casbn_stream::{synthesize_replay, OnlineCorrelation, StreamConfig, StreamDriver};
 }
